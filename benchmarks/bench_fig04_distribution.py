@@ -1,0 +1,29 @@
+"""Figure 4: distribution of input-dependent branches over prediction
+accuracy bins (measured on the ref input).
+
+Paper shape: a sizeable fraction of input-dependent branches is
+easy-to-predict (>95% accuracy) — not all input-dependent branches are
+hard-to-predict.
+"""
+
+from conftest import once
+
+from repro.analysis.tables import ACCURACY_BINS, fig4_rows, render_rows
+
+_BIN_KEYS = tuple(label for _, _, label in ACCURACY_BINS)
+
+
+def bench_fig04_accuracy_distribution(benchmark, runner, archive):
+    rows = once(benchmark, lambda: fig4_rows(runner))
+    archive("fig04_distribution", render_rows(
+        rows, "Figure 4: input-dependent branches by ref-accuracy bin",
+        percent_keys=_BIN_KEYS))
+
+    # Shape: summed over workloads, some input-dependent branches live in
+    # the easy (>=95%) bins.
+    easy_mass = sum(r["95-99%"] + r["99-100%"] for r in rows if r["total"])
+    assert easy_mass > 0.0, "no easy-to-predict input-dependent branches found"
+    # And each row's distribution sums to ~1 when it has any branches.
+    for row in rows:
+        if row["total"]:
+            assert abs(sum(row[k] for k in _BIN_KEYS) - 1.0) < 1e-9

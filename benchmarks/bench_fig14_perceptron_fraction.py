@@ -1,0 +1,24 @@
+"""Figure 14: fraction of input-dependent branches vs. #input sets when the
+*target machine* uses the 16 KB perceptron predictor.
+
+Paper shape: same growth pattern as Figure 11 (gshare) — the definition of
+input dependence is predictor-relative but the growth with inputs is not.
+"""
+
+from conftest import once
+
+from repro.analysis.tables import fig14_rows, render_rows
+
+_STEP_KEYS = ("base", "base-ext1-1", "base-ext1-2", "base-ext1-3",
+              "base-ext1-4", "base-ext1-5", "base-ext1-6")
+
+
+def bench_fig14_perceptron_fraction(benchmark, runner, archive):
+    rows = once(benchmark, lambda: fig14_rows(runner))
+    archive("fig14_perceptron_fraction", render_rows(
+        rows, "Figure 14: input-dependent fraction vs #inputs (perceptron target)",
+        percent_keys=_STEP_KEYS))
+
+    for row in rows:
+        steps = [row[k] for k in _STEP_KEYS if k in row]
+        assert all(b >= a - 1e-12 for a, b in zip(steps, steps[1:])), row["workload"]

@@ -1,0 +1,55 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each ``bench_*.py`` regenerates one of the paper's tables or figures: it
+computes the same rows/series the paper reports, prints them, archives them
+under ``benchmarks/_results/``, and times the computation with
+pytest-benchmark.
+
+Expensive artifacts (traces, predictor simulations) are produced once by
+the session-scoped runner and cached on disk, so the *timed* portion of
+most benches is the experiment analysis itself; the Figure 16 bench times
+raw instrumented execution by design.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — workload input scale (default 0.4).
+* ``REPRO_2DPROF_CACHE`` — cache directory (default ~/.cache/repro-2dprof).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.experiment import ExperimentRunner, SuiteConfig
+
+RESULTS_DIR = Path(__file__).parent / "_results"
+
+
+def scale_from_env() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(SuiteConfig(scale=scale_from_env()))
+
+
+@pytest.fixture(scope="session")
+def archive():
+    """Callable that prints a rendered table and archives it to a file."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _archive(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _archive
+
+
+def once(benchmark, fn):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

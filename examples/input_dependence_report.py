@@ -1,0 +1,56 @@
+"""Full evaluation workflow for one workload: profile with the train input
+only, then score the predictions against the train-vs-ref ground truth —
+the paper's Figure 10 experiment for a single benchmark, with per-branch
+detail down to source lines.
+
+Run:  python examples/input_dependence_report.py [workload] [scale]
+"""
+
+import sys
+
+from repro import ExperimentRunner, SuiteConfig, evaluate_detection, get_workload
+from repro.analysis.tables import format_fraction
+
+
+def main():
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "gapish"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.3
+
+    runner = ExperimentRunner(SuiteConfig(scale=scale))
+    program = get_workload(workload_name).program()
+
+    # 2D-profiling sees ONLY the train input.
+    report = runner.profile_2d(workload_name)
+    predicted = report.input_dependent_sites()
+
+    # Ground truth compares per-branch accuracy between train and ref.
+    truth = runner.ground_truth(workload_name)
+    metrics = evaluate_detection(predicted, truth)
+
+    print(f"== {workload_name} ==")
+    print(f"profiled branches: {len(report.profiled_sites())} "
+          f"(overall accuracy {report.overall_accuracy:.3f})")
+    print(f"ground truth: {len(truth.dependent)} input-dependent / "
+          f"{len(truth.independent)} input-independent\n")
+
+    train_acc = runner.simulation(workload_name, "train").site_accuracies(30)
+    ref_acc = runner.simulation(workload_name, "ref").site_accuracies(30)
+
+    print(f"{'branch':28s} {'train':>6s} {'ref':>6s}  truth      predicted")
+    for site_id in sorted(truth.universe):
+        truly = site_id in truth.dependent
+        flagged = site_id in predicted
+        if not truly and not flagged:
+            continue
+        marker = "OK " if truly == flagged else ("FN " if truly else "FP ")
+        site = program.sites[site_id]
+        print(f"{site.label():28s} {train_acc[site_id]:6.3f} {ref_acc[site_id]:6.3f}  "
+              f"{'dep' if truly else 'indep':9s} {'dep' if flagged else 'indep':9s} {marker}")
+
+    print("\nmetrics (paper Table 3):")
+    for key, value in metrics.as_row().items():
+        print(f"  {key:10s} {format_fraction(value)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Explore the time dimension: plot (in ASCII) and classify the phase
+shapes of a workload's most interesting branches.
+
+This is the paper's Figure 8 turned into a tool, plus the phase-shape
+classifier extension: for each branch 2D-profiling flags, show *how* its
+prediction accuracy moved over the run and what regime structure that
+implies (level shift / oscillation / drift).
+
+Run:  python examples/phase_explorer.py [workload] [scale]
+"""
+
+import sys
+
+from repro import ExperimentRunner, SuiteConfig, ProfilerConfig, get_workload
+from repro.analysis.phases import classify_report
+from repro.analysis.timeseries import render_ascii_series, site_series
+
+
+def main():
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "gapish"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.3
+
+    runner = ExperimentRunner(SuiteConfig(scale=scale))
+    program = get_workload(workload_name).program()
+
+    report = runner.profile_2d(workload_name,
+                               config=ProfilerConfig(keep_series=True, target_slices=60))
+    dependent = sorted(report.input_dependent_sites())
+    if not dependent:
+        print(f"{workload_name}: no branches flagged input-dependent at this scale")
+        return
+
+    verdicts = classify_report(report, sites=dependent)
+    print(f"{workload_name}: {len(dependent)} flagged branches "
+          f"(overall accuracy {report.overall_accuracy:.3f})\n")
+
+    # Rank by per-slice variability and show the top three curves.
+    ranked = sorted(dependent, key=lambda s: -report.stats[s].std)
+    for site in ranked[:3]:
+        label = program.sites[site].label()
+        series = site_series(report, site, label=label)
+        print(render_ascii_series(series))
+        verdict = verdicts[site]
+        detail = f"shape: {verdict.shape.value} (crossings={verdict.crossings}"
+        if verdict.change_point >= 0:
+            detail += (f", levels {verdict.level_before:.2f} -> "
+                       f"{verdict.level_after:.2f} around slice {verdict.change_point}")
+        print(detail + ")\n")
+
+    print("all flagged branches:")
+    for site in ranked:
+        verdict = verdicts[site]
+        print(f"  {program.sites[site].label():28s} {verdict.shape.value:12s} "
+              f"std={verdict.std:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""The paper's motivating use case (Section 2.1): use 2D-profiling to make
+robust if-conversion decisions.
+
+For every branch of the gzipish workload, profiled with a single input:
+
+* compute its bias and misprediction rate (ordinary profile data);
+* ask 2D-profiling whether it is input-dependent;
+* run the equation (1)-(3) cost model; branches that are input-dependent
+  *and* near the cost crossover become wish branches instead of a fixed
+  compile-time choice.
+
+Run:  python examples/predication_advisor.py [workload] [scale]
+"""
+
+import sys
+from collections import Counter
+
+from repro import ExperimentRunner, SuiteConfig, get_workload
+from repro.bytecode.cfg import convertible_branches
+from repro.core.predication import (
+    BranchProfileSummary,
+    PredicationAdvisor,
+    PredicationCosts,
+    crossover_misprediction_rate,
+)
+
+
+def main():
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "gzipish"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.3
+
+    runner = ExperimentRunner(SuiteConfig(scale=scale))
+    workload = get_workload(workload_name)
+    program = workload.program()
+
+    # Ordinary profile data from the train run...
+    trace = runner.trace(workload_name, "train")
+    sim = runner.simulation(workload_name, "train")
+    biases = trace.site_bias()
+    accuracies = sim.site_accuracies(min_executions=30)
+
+    # ...plus the 2D verdicts from the same single run.
+    report = runner.profile_2d(workload_name)
+    dependent = report.input_dependent_sites()
+
+    costs = PredicationCosts()  # The paper's Figure 2 machine parameters.
+    advisor = PredicationAdvisor(costs, guard_band=0.04)
+
+    # Only hammock/diamond regions are legal if-conversion targets.
+    legal = convertible_branches(program)
+    profiles = [
+        BranchProfileSummary(
+            site_id=site,
+            taken_rate=biases[site],
+            misprediction_rate=1.0 - accuracy,
+            input_dependent=site in dependent,
+        )
+        for site, accuracy in accuracies.items()
+        if site in legal
+    ]
+    decisions = advisor.decide_all(profiles)
+
+    print(f"{workload_name}: advisor decisions for {len(decisions)} if-convertible branches")
+    print(f"(cost crossover at ~{crossover_misprediction_rate(costs):.1%} misprediction)\n")
+    print(f"{'branch':26s} {'taken':>6s} {'misp':>6s} {'inp-dep':>8s}  decision")
+    for profile in sorted(profiles, key=lambda p: -p.misprediction_rate)[:15]:
+        site = program.sites[profile.site_id]
+        print(f"{site.label():26s} {profile.taken_rate:6.2f} "
+              f"{profile.misprediction_rate:6.2%} {str(profile.input_dependent):>8s}  "
+              f"{decisions[profile.site_id].value}")
+
+    tally = Counter(decision.value for decision in decisions.values())
+    print(f"\ntotals: {dict(tally)}")
+
+
+if __name__ == "__main__":
+    main()

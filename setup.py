@@ -1,0 +1,5 @@
+"""Shim so legacy `setup.py develop` works in offline environments
+that lack the `wheel` package (PEP 660 editable installs need it)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""repro — a full reproduction of "2D-Profiling: Detecting Input-Dependent
+Branches with a Single Input Data Set" (Kim, Suleman, Mutlu & Patt, CGO 2006).
+
+Quickstart::
+
+    from repro import ExperimentRunner, SuiteConfig
+
+    runner = ExperimentRunner(SuiteConfig(scale=0.3))
+    report = runner.profile_2d("gzipish")          # profile with ONE input
+    predicted = report.input_dependent_sites()     # 2D-profiling's output
+    truth = runner.ground_truth("gzipish")         # train-vs-ref definition
+    print(runner.evaluate("gzipish").as_row())     # COV/ACC metrics
+
+Layers (bottom to top): :mod:`repro.lang` (the Minic compiler),
+:mod:`repro.vm` (instrumented interpreter), :mod:`repro.trace`,
+:mod:`repro.predictors`, :mod:`repro.core` (the 2D-profiling algorithm and
+evaluation machinery), :mod:`repro.workloads`, :mod:`repro.analysis`.
+"""
+
+from repro.lang import compile_source
+from repro.vm import InputSet, Machine
+from repro.trace import BranchTrace, capture_trace
+from repro.predictors import (
+    make_predictor,
+    paper_gshare,
+    paper_perceptron,
+    simulate,
+)
+from repro.core import (
+    BranchVerdict,
+    CovAccMetrics,
+    Edge2DProfiler,
+    GroundTruth,
+    OnlineProfilerTool,
+    PredicationAdvisor,
+    PredicationCosts,
+    ProfilerConfig,
+    TestThresholds,
+    TwoDProfiler,
+    TwoDReport,
+    evaluate_detection,
+    ground_truth,
+    profile_trace,
+)
+from repro.core.experiment import ExperimentRunner, SuiteConfig
+from repro.workloads import all_workloads, deep_workloads, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compile_source",
+    "InputSet",
+    "Machine",
+    "BranchTrace",
+    "capture_trace",
+    "make_predictor",
+    "paper_gshare",
+    "paper_perceptron",
+    "simulate",
+    "BranchVerdict",
+    "CovAccMetrics",
+    "Edge2DProfiler",
+    "GroundTruth",
+    "OnlineProfilerTool",
+    "PredicationAdvisor",
+    "PredicationCosts",
+    "ProfilerConfig",
+    "TestThresholds",
+    "TwoDProfiler",
+    "TwoDReport",
+    "evaluate_detection",
+    "ground_truth",
+    "profile_trace",
+    "ExperimentRunner",
+    "SuiteConfig",
+    "all_workloads",
+    "deep_workloads",
+    "get_workload",
+    "__version__",
+]

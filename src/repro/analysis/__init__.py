@@ -1,0 +1,7 @@
+"""Analysis and reporting: table/figure row builders, time-series
+extraction (Fig. 8), and the instrumentation-overhead harness (Fig. 16).
+"""
+
+from repro.analysis.tables import format_table, format_fraction
+
+__all__ = ["format_table", "format_fraction"]

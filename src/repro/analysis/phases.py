@@ -1,0 +1,117 @@
+"""Phase structure classification of per-slice accuracy series.
+
+An extension beyond the paper: once 2D-profiling flags a branch as
+input-dependent, a compiler may care *what kind* of time variation it saw —
+a one-off level shift (the data's regime changed once), oscillation between
+regimes (recurring phases), a drift, or unstructured noise.  The classes
+map to different optimization responses: e.g. a branch oscillating between
+easy and hopeless regimes is the canonical wish-branch candidate, while a
+drifting branch may just need a longer warm-up exclusion.
+
+Classification is deliberately simple and deterministic: split-based level
+comparison for shifts, run-length analysis around the mean for
+oscillation, and a linear-trend fit for drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.core.profiler2d import TwoDReport
+
+
+class PhaseShape(Enum):
+    """The coarse shape of one branch's per-slice accuracy series."""
+
+    FLAT = "flat"                # No meaningful variation.
+    LEVEL_SHIFT = "level-shift"  # One dominant change point.
+    OSCILLATING = "oscillating"  # Recurring alternation between regimes.
+    DRIFT = "drift"              # Monotone-ish trend across the run.
+    IRREGULAR = "irregular"      # Varies, but none of the above.
+
+
+@dataclass(frozen=True)
+class PhaseVerdict:
+    site_id: int
+    shape: PhaseShape
+    std: float
+    #: Best split point for LEVEL_SHIFT (slice index), else -1.
+    change_point: int
+    #: Mean accuracy before/after the best split (equal for FLAT).
+    level_before: float
+    level_after: float
+    #: Number of mean-crossing alternations in the series.
+    crossings: int
+
+
+def classify_series(accuracies: np.ndarray, site_id: int = -1,
+                    flat_std: float = 0.02) -> PhaseVerdict:
+    """Classify one branch's per-slice accuracy series.
+
+    ``flat_std`` is the variation floor below which the series is FLAT
+    (half the 2D STD-test default: the shapes are only meaningful for
+    branches with real variation).
+    """
+    values = np.asarray(accuracies, dtype=np.float64)
+    values = values[~np.isnan(values)]
+    n = values.size
+    if n < 4:
+        return PhaseVerdict(site_id, PhaseShape.FLAT, 0.0, -1,
+                            float(values.mean()) if n else 0.0,
+                            float(values.mean()) if n else 0.0, 0)
+
+    std = float(values.std())
+    mean = float(values.mean())
+
+    # Mean crossings: how often the series alternates around its mean.
+    above = values > mean
+    crossings = int(np.count_nonzero(above[1:] != above[:-1]))
+
+    # Best single change point: maximize between-segment separation.
+    best_split, best_gap = -1, 0.0
+    for split in range(2, n - 2):
+        gap = abs(float(values[:split].mean()) - float(values[split:].mean()))
+        if gap > best_gap:
+            best_gap, best_split = gap, split
+    level_before = float(values[:best_split].mean()) if best_split > 0 else mean
+    level_after = float(values[best_split:].mean()) if best_split > 0 else mean
+
+    if std < flat_std:
+        return PhaseVerdict(site_id, PhaseShape.FLAT, std, -1, mean, mean, crossings)
+
+    # Linear trend strength (correlation of value with time).
+    time_axis = np.arange(n, dtype=np.float64)
+    correlation = float(np.corrcoef(time_axis, values)[0, 1]) if std > 0 else 0.0
+
+    # Decision ladder.  A strong split with few crossings = level shift
+    # (note a perfect equal-halves two-level series has gap == 2*std, so
+    # the gap threshold sits below that); many crossings = oscillation;
+    # strong monotone correlation = drift.
+    if best_gap >= 1.5 * std and crossings <= max(3, n // 8):
+        shape = PhaseShape.LEVEL_SHIFT
+    elif crossings >= max(6, n // 8):
+        shape = PhaseShape.OSCILLATING
+    elif abs(correlation) > 0.85:
+        shape = PhaseShape.DRIFT
+    elif best_gap >= 1.2 * std:
+        shape = PhaseShape.LEVEL_SHIFT
+    else:
+        shape = PhaseShape.IRREGULAR
+    return PhaseVerdict(site_id, shape, std, best_split,
+                        level_before, level_after, crossings)
+
+
+def classify_report(report: TwoDReport, sites=None,
+                    flat_std: float = 0.02) -> dict[int, PhaseVerdict]:
+    """Classify every (or the given) profiled branch of a keep-series run."""
+    if report.series is None:
+        raise ValueError("run the profiler with keep_series=True first")
+    targets = sites if sites is not None else sorted(report.profiled_sites())
+    verdicts: dict[int, PhaseVerdict] = {}
+    for site in targets:
+        column = report.series[:, site]
+        verdicts[site] = classify_series(column, site_id=site, flat_std=flat_std)
+    return verdicts

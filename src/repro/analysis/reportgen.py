@@ -1,0 +1,107 @@
+"""One-command experiment report.
+
+``generate_report(runner)`` runs the whole evaluation (reusing cached
+artifacts) and renders a single markdown document with every table and
+figure — the programmatic equivalent of re-running the benchmark suite,
+for users who want a document rather than pytest output.
+
+CLI: ``repro-2dprof report [--out FILE]``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.experiment import ExperimentRunner
+from repro.analysis import tables
+from repro.analysis.timeseries import figure8_series, render_ascii_series
+from repro.analysis.whatif import whatif_rows
+
+_BIN_KEYS = tuple(label for _, _, label in tables.ACCURACY_BINS)
+_STEP_KEYS = ("base", "base-ext1-1", "base-ext1-2", "base-ext1-3",
+              "base-ext1-4", "base-ext1-5", "base-ext1-6")
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```\n{body}\n```\n"
+
+
+def generate_report(
+    runner: ExperimentRunner,
+    include_whatif: bool = True,
+    whatif_workloads=("gzipish", "gapish", "vortexish"),
+) -> str:
+    """Build the full markdown report (may take minutes on a cold cache)."""
+    parts: list[str] = [
+        "# 2D-Profiling experiment report",
+        "",
+        f"Workload scale: {runner.config.scale}; ground-truth threshold: "
+        f"{runner.config.dep_threshold:.0%} accuracy delta; profiler: 4 KB gshare.",
+        "",
+    ]
+
+    parts.append(_section(
+        "Figure 2 — predication cost model",
+        tables.render_rows(tables.fig2_rows(points=11), "")))
+    parts.append(_section(
+        "Figure 3 — fraction of input-dependent branches",
+        tables.render_rows(tables.fig3_rows(runner), "",
+                           percent_keys=("dynamic", "static"))))
+    parts.append(_section(
+        "Figure 4 — dependent branches by ref-accuracy bin",
+        tables.render_rows(tables.fig4_rows(runner), "", percent_keys=_BIN_KEYS)))
+    parts.append(_section(
+        "Figure 5 — dependent fraction within accuracy bins",
+        tables.render_rows(tables.fig5_rows(runner), "", percent_keys=_BIN_KEYS)))
+    parts.append(_section(
+        "Table 1 — overall misprediction rates",
+        tables.render_rows(tables.table1_rows(runner), "",
+                           percent_keys=("train", "ref"))))
+    parts.append(_section(
+        "Table 2 — workload characteristics",
+        tables.render_rows(tables.table2_rows(runner), "")))
+
+    varying, flat, _overall = figure8_series(runner, "gapish", slices=50)
+    parts.append(_section(
+        "Figure 8 — per-slice accuracy over time (gapish)",
+        render_ascii_series(varying) + "\n\n" + render_ascii_series(flat)))
+
+    parts.append(_section(
+        "Figure 10 — COV/ACC, two input sets",
+        tables.render_rows(tables.fig10_rows(runner), "")))
+    parts.append(_section(
+        "Figure 11 — dependent fraction vs #input sets",
+        tables.render_rows(tables.fig11_rows(runner), "", percent_keys=_STEP_KEYS)))
+    parts.append(_section(
+        "Figure 12 — average COV/ACC vs #input sets",
+        tables.render_rows(tables.fig12_rows(runner), "")))
+    parts.append(_section(
+        "Figure 13 — COV/ACC at max input sets",
+        tables.render_rows(tables.fig13_rows(runner), "")))
+    parts.append(_section(
+        "Figure 14 — dependent fraction vs #inputs (perceptron target)",
+        tables.render_rows(tables.fig14_rows(runner), "", percent_keys=_STEP_KEYS)))
+    parts.append(_section(
+        "Figure 15 — gshare profiler vs perceptron target",
+        tables.render_rows(
+            tables.fig13_rows(runner, profiler_predictor="gshare",
+                              target_predictor="perceptron"), "")))
+    parts.append(_section(
+        "Table 4 — extended input sets",
+        tables.render_rows(tables.table4_rows(runner), "",
+                           percent_keys=("gshare_mispred", "perceptron_mispred"))))
+
+    if include_whatif:
+        parts.append(_section(
+            "Extension — what-if predication policies (cycles on ref, 1.00 = all-branch)",
+            tables.render_rows(whatif_rows(runner, list(whatif_workloads)), "")))
+
+    return "\n".join(parts)
+
+
+def write_report(runner: ExperimentRunner, path: str | Path, **kwargs) -> Path:
+    """Generate the report and write it to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(generate_report(runner, **kwargs))
+    return path

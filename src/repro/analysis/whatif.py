@@ -1,0 +1,135 @@
+"""What-if study: does 2D-profiling improve predication decisions?
+
+This is the experiment the paper's Section 2.1 motivates but (in the CGO
+paper) argues analytically: a compiler profiles on the **train** input,
+decides per branch between normal branch code, predicated code, and wish
+branches, and then the program runs on the **ref** input.  We replay the
+ref trace under each policy with the cost simulator and compare cycles:
+
+* ``all-branch``      — baseline: never if-convert;
+* ``aggregate``       — classic PGO: apply equation (3) to the train
+                         profile, no input-dependence information;
+* ``2d-aware``        — like ``aggregate``, but branches 2D-profiling
+                         flags input-dependent whose profiled misprediction
+                         rate is near the cost crossover become wish
+                         branches (the paper's recommendation);
+* ``oracle``          — equation (3) applied to the *ref* profile (an
+                         upper bound no single-input profile can reach).
+
+The paper's claim holds when ``2d-aware`` is at least as good as
+``aggregate`` on the unseen input, with the gap concentrated on
+input-dependent branches whose decision flipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bytecode.cfg import convertible_branches
+from repro.core.experiment import ExperimentRunner
+from repro.core.predication import (
+    AdvisorDecision,
+    BranchProfileSummary,
+    PredicationAdvisor,
+    PredicationCosts,
+    should_predicate,
+)
+from repro.core.timing import CostReport, evaluate_policy
+from repro.workloads import get_workload
+
+POLICIES = ("all-branch", "aggregate", "2d-aware", "oracle")
+
+
+@dataclass
+class WhatIfResult:
+    workload: str
+    reports: dict[str, CostReport]
+
+    def cycles(self, policy: str) -> float:
+        return self.reports[policy].total_cycles
+
+    def relative(self, policy: str, baseline: str = "all-branch") -> float:
+        base = self.cycles(baseline)
+        return self.cycles(policy) / base if base else float("nan")
+
+
+def _profile_summaries(runner: ExperimentRunner, workload: str, input_name: str,
+                       dependent: set[int], min_executions: int = 30):
+    trace = runner.trace(workload, input_name)
+    sim = runner.simulation(workload, input_name)
+    biases = trace.site_bias()
+    accuracies = sim.site_accuracies(min_executions)
+    return [
+        BranchProfileSummary(
+            site_id=site,
+            taken_rate=biases[site],
+            misprediction_rate=1.0 - accuracy,
+            input_dependent=site in dependent,
+        )
+        for site, accuracy in accuracies.items()
+    ]
+
+
+def run_whatif(
+    runner: ExperimentRunner,
+    workload: str,
+    costs: PredicationCosts | None = None,
+    guard_band: float = 0.05,
+) -> WhatIfResult:
+    """Compare the four policies for one workload (profile train, run ref)."""
+    costs = costs or PredicationCosts()
+
+    # Legality first: only branches guarding hammock/diamond regions can be
+    # if-converted at all (CFG analysis; loop and early-exit branches stay).
+    program = get_workload(workload).program()
+    legal = convertible_branches(program)
+
+    # What the compiler can see: the train profile (+ the 2D verdicts).
+    report_2d = runner.profile_2d(workload)
+    flagged = report_2d.input_dependent_sites()
+
+    train_profiles = [p for p in _profile_summaries(runner, workload, "train", flagged)
+                      if p.site_id in legal]
+    advisor = PredicationAdvisor(costs, guard_band=guard_band)
+
+    aggregate_decisions = {
+        p.site_id: (AdvisorDecision.PREDICATE
+                    if should_predicate(costs, p.taken_rate, p.misprediction_rate)
+                    else AdvisorDecision.KEEP_BRANCH)
+        for p in train_profiles
+    }
+    aware_decisions = advisor.decide_all(train_profiles)
+
+    # The oracle sees the ref profile itself (same legality constraint).
+    ref_profiles = [p for p in _profile_summaries(runner, workload, "ref", set())
+                    if p.site_id in legal]
+    oracle_decisions = {
+        p.site_id: (AdvisorDecision.PREDICATE
+                    if should_predicate(costs, p.taken_rate, p.misprediction_rate)
+                    else AdvisorDecision.KEEP_BRANCH)
+        for p in ref_profiles
+    }
+
+    # Deployment: the ref input.
+    ref_trace = runner.trace(workload, "ref")
+    ref_sim = runner.simulation(workload, "ref")
+
+    reports = {
+        "all-branch": evaluate_policy(ref_trace, ref_sim, {}, costs, "all-branch"),
+        "aggregate": evaluate_policy(ref_trace, ref_sim, aggregate_decisions, costs, "aggregate"),
+        "2d-aware": evaluate_policy(ref_trace, ref_sim, aware_decisions, costs, "2d-aware"),
+        "oracle": evaluate_policy(ref_trace, ref_sim, oracle_decisions, costs, "oracle"),
+    }
+    return WhatIfResult(workload=workload, reports=reports)
+
+
+def whatif_rows(runner: ExperimentRunner, workloads) -> list[dict]:
+    """Normalized cycles per policy, per workload (1.0 = all-branch)."""
+    rows = []
+    for workload in workloads:
+        result = run_whatif(runner, workload)
+        row = {"workload": workload}
+        for policy in POLICIES:
+            row[policy] = result.relative(policy)
+        rows.append(row)
+    return rows

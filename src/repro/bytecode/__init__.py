@@ -1,0 +1,12 @@
+"""Bytecode intermediate representation executed by :mod:`repro.vm`.
+
+The IR is a conventional stack machine.  Conditional branch instructions
+(``BR_FALSE`` / ``BR_TRUE``) are the profiled entities: each one is a
+*static branch site* with a program-wide id, mirroring how the paper treats
+static conditional branch instructions in x86 binaries.
+"""
+
+from repro.bytecode.opcodes import Opcode
+from repro.bytecode.program import BranchSite, Function, Program, disassemble
+
+__all__ = ["Opcode", "BranchSite", "Function", "Program", "disassemble"]

@@ -1,0 +1,115 @@
+"""Function-body assembler with labels and backpatching.
+
+The code generator emits instructions through a :class:`FunctionBuilder`,
+using symbolic labels for branch targets.  ``finish()`` resolves labels to
+pcs and produces a :class:`repro.bytecode.program.Function`.
+
+Branch instructions carry a *kind* hint ("if" / "loop" / "logical") that is
+preserved through assembly; site ids are assigned later, program-wide, by
+the compiler driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CodegenError
+from repro.bytecode.opcodes import Opcode
+from repro.bytecode.program import Function
+
+
+@dataclass(frozen=True)
+class Label:
+    """An opaque assembly label; create via :meth:`FunctionBuilder.new_label`."""
+
+    index: int
+
+
+@dataclass
+class PendingBranch:
+    """Metadata for a conditional branch awaiting site-id assignment."""
+
+    pc: int
+    line: int
+    kind: str
+
+
+class FunctionBuilder:
+    """Accumulates instructions for one function."""
+
+    def __init__(self, name: str, num_params: int):
+        self.name = name
+        self.num_params = num_params
+        self.ops: list[int] = []
+        self.args: list = []
+        self.lines: list[int] = []
+        self._label_pcs: dict[int, int] = {}
+        self._next_label = 0
+        self._fixups: list[tuple[int, Label]] = []  # (pc, label) to patch
+        self.branches: list[PendingBranch] = []
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+
+    @property
+    def pc(self) -> int:
+        return len(self.ops)
+
+    def emit(self, op: Opcode, arg=None, line: int = 0) -> int:
+        """Append an instruction; return its pc."""
+        pc = self.pc
+        self.ops.append(int(op))
+        self.args.append(arg)
+        self.lines.append(line)
+        return pc
+
+    def new_label(self) -> Label:
+        label = Label(self._next_label)
+        self._next_label += 1
+        return label
+
+    def place(self, label: Label) -> None:
+        """Bind ``label`` to the current pc."""
+        if label.index in self._label_pcs:
+            raise CodegenError(f"label placed twice in {self.name!r}")
+        self._label_pcs[label.index] = self.pc
+
+    def emit_jump(self, label: Label, line: int = 0) -> None:
+        pc = self.emit(Opcode.JUMP, None, line)
+        self._fixups.append((pc, label))
+
+    def emit_branch(self, op: Opcode, label: Label, kind: str, line: int = 0) -> None:
+        """Emit BR_FALSE/BR_TRUE targeting ``label`` with a site-kind hint."""
+        if op not in (Opcode.BR_FALSE, Opcode.BR_TRUE):
+            raise CodegenError(f"emit_branch got non-branch opcode {op!r}")
+        pc = self.emit(op, None, line)
+        self._fixups.append((pc, label))
+        self.branches.append(PendingBranch(pc=pc, line=line, kind=kind))
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    def finish(self, num_locals: int) -> Function:
+        """Resolve labels and return the assembled function.
+
+        Branch args are left as ``(target, None)`` placeholders; the
+        compiler driver substitutes program-wide site ids afterwards.
+        """
+        for pc, label in self._fixups:
+            target = self._label_pcs.get(label.index)
+            if target is None:
+                raise CodegenError(f"undefined label in {self.name!r}")
+            if self.ops[pc] == Opcode.JUMP:
+                self.args[pc] = target
+            else:
+                self.args[pc] = (target, None)
+        return Function(
+            name=self.name,
+            num_params=self.num_params,
+            num_locals=num_locals,
+            ops=self.ops,
+            args=self.args,
+            lines=self.lines,
+        )

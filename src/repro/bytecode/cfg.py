@@ -1,0 +1,275 @@
+"""Control-flow graph analysis over compiled functions.
+
+Real if-conversion needs more than a profitable cost model: the branch must
+guard an if-convertible *region* (a hammock — one side block rejoining, or
+a diamond — two side blocks rejoining).  This module recovers basic blocks,
+edges, dominators, natural-loop membership, and region shapes from
+bytecode, so the predication advisor can restrict itself to legal
+candidates (`convertible_branches`).
+
+The analyses are textbook: leader-based block construction, iterative
+dominator computation [Cooper, Harvey & Kennedy 2001], and back-edge
+natural-loop discovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bytecode.opcodes import Opcode
+from repro.bytecode.program import Function, Program
+
+_JUMP = int(Opcode.JUMP)
+_BR_FALSE = int(Opcode.BR_FALSE)
+_BR_TRUE = int(Opcode.BR_TRUE)
+_RET = int(Opcode.RET)
+_HALT = int(Opcode.HALT)
+
+_TERMINATORS = {_JUMP, _BR_FALSE, _BR_TRUE, _RET, _HALT}
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence [start, end)."""
+
+    index: int
+    start: int
+    end: int
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+
+    def __contains__(self, pc: int) -> bool:
+        return self.start <= pc < self.end
+
+
+@dataclass
+class ControlFlowGraph:
+    """Blocks and edges of one function, plus derived analyses."""
+
+    function: Function
+    blocks: list[BasicBlock]
+    block_of_pc: dict[int, int]
+    #: Immediate dominator per block index (entry maps to itself).
+    idom: list[int] = field(default_factory=list)
+    #: Block indices that are natural-loop headers.
+    loop_headers: set[int] = field(default_factory=set)
+    #: Per loop header: the blocks in its natural loop body.
+    loop_blocks: dict[int, set[int]] = field(default_factory=dict)
+
+    def block_at(self, pc: int) -> BasicBlock:
+        return self.blocks[self.block_of_pc[pc]]
+
+    def dominates(self, a: int, b: int) -> bool:
+        """Does block ``a`` dominate block ``b``?"""
+        while True:
+            if b == a:
+                return True
+            parent = self.idom[b]
+            if parent == b:
+                return False
+            b = parent
+
+
+def _branch_target(func: Function, pc: int) -> int:
+    arg = func.args[pc]
+    return arg[0] if isinstance(arg, tuple) else arg
+
+
+def build_cfg(func: Function) -> ControlFlowGraph:
+    """Construct the CFG of one function and run its analyses."""
+    ops = func.ops
+    n = len(ops)
+
+    # --- Leaders ---
+    leaders = {0}
+    for pc, op in enumerate(ops):
+        if op in (_JUMP, _BR_FALSE, _BR_TRUE):
+            leaders.add(_branch_target(func, pc))
+            if pc + 1 < n:
+                leaders.add(pc + 1)
+        elif op in (_RET, _HALT) and pc + 1 < n:
+            leaders.add(pc + 1)
+    ordered = sorted(leader for leader in leaders if leader < n)
+
+    blocks: list[BasicBlock] = []
+    block_of_pc: dict[int, int] = {}
+    for index, start in enumerate(ordered):
+        end = ordered[index + 1] if index + 1 < len(ordered) else n
+        block = BasicBlock(index=index, start=start, end=end)
+        blocks.append(block)
+        for pc in range(start, end):
+            block_of_pc[pc] = index
+
+    # --- Edges ---
+    for block in blocks:
+        last = block.end - 1
+        op = ops[last]
+        if op == _JUMP:
+            block.successors.append(block_of_pc[_branch_target(func, last)])
+        elif op in (_BR_FALSE, _BR_TRUE):
+            block.successors.append(block_of_pc[_branch_target(func, last)])
+            if block.end < n:
+                block.successors.append(block_of_pc[block.end])
+        elif op in (_RET, _HALT):
+            pass
+        elif block.end < n:
+            block.successors.append(block_of_pc[block.end])
+        for successor in block.successors:
+            blocks[successor].predecessors.append(block.index)
+
+    cfg = ControlFlowGraph(function=func, blocks=blocks, block_of_pc=block_of_pc)
+    _compute_dominators(cfg)
+    _find_loops(cfg)
+    return cfg
+
+
+def _reverse_postorder(cfg: ControlFlowGraph) -> list[int]:
+    seen: set[int] = set()
+    order: list[int] = []
+
+    def visit(block_index: int) -> None:
+        stack = [(block_index, iter(cfg.blocks[block_index].successors))]
+        seen.add(block_index)
+        while stack:
+            current, successors = stack[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in seen:
+                    seen.add(successor)
+                    stack.append((successor, iter(cfg.blocks[successor].successors)))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(current)
+                stack.pop()
+
+    visit(0)
+    order.reverse()
+    return order
+
+
+def _compute_dominators(cfg: ControlFlowGraph) -> None:
+    """Iterative dominator algorithm over reverse postorder."""
+    rpo = _reverse_postorder(cfg)
+    position = {block: i for i, block in enumerate(rpo)}
+    idom = [-1] * len(cfg.blocks)
+    idom[0] = 0
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while position.get(a, -1) > position.get(b, -1):
+                a = idom[a]
+            while position.get(b, -1) > position.get(a, -1):
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block in rpo:
+            if block == 0:
+                continue
+            candidates = [p for p in cfg.blocks[block].predecessors if idom[p] != -1]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for predecessor in candidates[1:]:
+                new_idom = intersect(new_idom, predecessor)
+            if idom[block] != new_idom:
+                idom[block] = new_idom
+                changed = True
+    # Unreachable blocks dominate themselves (degenerate but safe).
+    for block in range(len(cfg.blocks)):
+        if idom[block] == -1:
+            idom[block] = block
+    cfg.idom = idom
+
+
+def _find_loops(cfg: ControlFlowGraph) -> None:
+    """Back edges (successor dominates source) define natural loops."""
+    for block in cfg.blocks:
+        for successor in block.successors:
+            if cfg.dominates(successor, block.index):
+                header = successor
+                cfg.loop_headers.add(header)
+                body = cfg.loop_blocks.setdefault(header, {header})
+                # Walk predecessors from the latch up to the header.
+                stack = [block.index]
+                while stack:
+                    current = stack.pop()
+                    if current in body:
+                        continue
+                    body.add(current)
+                    stack.extend(cfg.blocks[current].predecessors)
+
+
+# ----------------------------------------------------------------------
+# Region shapes for if-conversion
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BranchRegion:
+    """Shape of the region guarded by one conditional branch."""
+
+    site_id: int
+    shape: str           # "hammock", "diamond", or "other"
+    join_block: int      # Block where control re-converges (-1 for other)
+    side_blocks: int     # Number of side blocks that would be predicated
+
+
+def classify_branch_region(cfg: ControlFlowGraph, pc: int, site_id: int) -> BranchRegion:
+    """Classify the region below the conditional branch at ``pc``.
+
+    * **hammock** — one successor is a single block that falls through to
+      the other successor (if-without-else);
+    * **diamond** — both successors are single blocks joining at a common
+      third block (if/else);
+    * **other** — anything else (loops, multi-block arms, early exits).
+    """
+    block = cfg.block_at(pc)
+    if len(block.successors) != 2:
+        return BranchRegion(site_id, "other", -1, 0)
+    left, right = block.successors
+
+    def single_exit(block_index: int) -> int | None:
+        """The unique successor of a straight-line side block, or None."""
+        candidate = cfg.blocks[block_index]
+        if len(candidate.predecessors) != 1:
+            return None
+        if len(candidate.successors) != 1:
+            return None
+        return candidate.successors[0]
+
+    # Hammock: left falls into right (or vice versa).
+    if single_exit(left) == right:
+        return BranchRegion(site_id, "hammock", right, 1)
+    if single_exit(right) == left:
+        return BranchRegion(site_id, "hammock", left, 1)
+
+    # Diamond: both sides are single blocks with a common join.
+    left_join = single_exit(left)
+    right_join = single_exit(right)
+    if left_join is not None and left_join == right_join:
+        return BranchRegion(site_id, "diamond", left_join, 2)
+
+    return BranchRegion(site_id, "other", -1, 0)
+
+
+def analyze_program(program: Program) -> dict[int, BranchRegion]:
+    """Region classification for every branch site of a program."""
+    regions: dict[int, BranchRegion] = {}
+    cfgs = {func.name: build_cfg(func) for func in program.functions}
+    for site in program.sites:
+        cfg = cfgs[site.function]
+        regions[site.site_id] = classify_branch_region(cfg, site.pc, site.site_id)
+    return regions
+
+
+def convertible_branches(program: Program) -> set[int]:
+    """Sites whose region shape permits if-conversion (hammock/diamond)."""
+    return {
+        site_id
+        for site_id, region in analyze_program(program).items()
+        if region.shape in ("hammock", "diamond")
+    }

@@ -1,0 +1,82 @@
+"""Opcode numbering for the Minic stack machine.
+
+Opcodes are plain ints (via an ``IntEnum``) so the interpreter can dispatch
+on small integers; the enum exists for readable disassembly and tests.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum, unique
+
+
+@unique
+class Opcode(IntEnum):
+    """Every instruction understood by :class:`repro.vm.machine.Machine`."""
+
+    # Stack and memory.
+    CONST = 1          # arg: literal int           -> push arg
+    LOAD_LOCAL = 2     # arg: slot                  -> push locals[slot]
+    STORE_LOCAL = 3    # arg: slot                  -> locals[slot] = pop
+    LOAD_GLOBAL = 4    # arg: index                 -> push globals[index]
+    STORE_GLOBAL = 5   # arg: index                 -> globals[index] = pop
+    LOAD_INDEX = 6     # (arr idx -- arr[idx])
+    STORE_INDEX = 7    # (arr idx val -- ) arr[idx] = val
+    NEW_ARRAY = 8      # (size -- arr) fresh zero-filled array
+    POP = 9            # drop top of stack
+    DUP = 10           # duplicate top of stack
+    DUP2 = 11          # duplicate the top two stack slots (a b -- a b a b)
+
+    # Arithmetic / bitwise / comparison (two operands popped, result pushed).
+    ADD = 16
+    SUB = 17
+    MUL = 18
+    DIV = 19           # C-style truncation toward zero
+    MOD = 20           # sign follows the dividend, as in C
+    AND = 21
+    OR = 22
+    XOR = 23
+    SHL = 24           # shift count masked to 6 bits
+    SHR = 25
+    EQ = 26
+    NE = 27
+    LT = 28
+    LE = 29
+    GT = 30
+    GE = 31
+
+    # Unary.
+    NEG = 36
+    NOT = 37           # logical not -> 0/1
+    BNOT = 38          # bitwise complement
+
+    # Control flow.
+    JUMP = 44          # arg: target pc
+    BR_FALSE = 45      # arg: (target pc, site id)  -> branch if pop == 0
+    BR_TRUE = 46       # arg: (target pc, site id)  -> branch if pop != 0
+
+    # Calls.
+    CALL = 52          # arg: (function index, argc)
+    CALL_BUILTIN = 53  # arg: (builtin id, argc)
+    RET = 54           # return pop() to the caller
+    HALT = 55          # stop execution (emitted at the end of main only)
+
+
+#: Opcodes that transfer control conditionally; these are the branch sites.
+CONDITIONAL_BRANCHES = frozenset({Opcode.BR_FALSE, Opcode.BR_TRUE})
+
+#: Builtin name -> dense id used by CALL_BUILTIN.  Order is part of the IR
+#: and must not change without recompiling cached programs.
+BUILTIN_IDS: dict[str, int] = {
+    "input": 0,
+    "input_len": 1,
+    "arg": 2,
+    "arg_count": 3,
+    "output": 4,
+    "abs": 5,
+    "min": 6,
+    "max": 7,
+    "array": 8,
+    "len": 9,
+    "srand": 10,
+    "rand": 11,
+}

@@ -1,0 +1,117 @@
+"""Containers for compiled Minic programs.
+
+A :class:`Program` is a list of :class:`Function` bodies plus global
+variable metadata and the table of static conditional-branch sites.  Branch
+sites are numbered densely across the whole program, in (function, pc)
+order, after optimization — they are the stable identifiers that traces,
+predictors, and the 2D-profiler all key on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bytecode.opcodes import BUILTIN_IDS, Opcode
+
+_BUILTIN_NAMES = {bid: name for name, bid in BUILTIN_IDS.items()}
+
+
+@dataclass(frozen=True)
+class BranchSite:
+    """A static conditional branch instruction.
+
+    ``kind`` is a code-generator hint about the construct that produced the
+    branch: ``"if"``, ``"loop"`` (loop condition / back edge), or
+    ``"logical"`` (short-circuit ``&&`` / ``||``).
+    """
+
+    site_id: int
+    function: str
+    pc: int
+    line: int
+    kind: str
+
+    def label(self) -> str:
+        """Human-readable identifier used in reports."""
+        return f"{self.function}+{self.pc}@L{self.line}"
+
+
+@dataclass
+class Function:
+    """One compiled function body.
+
+    ``ops`` and ``args`` are parallel lists: ``ops[pc]`` is the opcode int
+    and ``args[pc]`` its operand (an int, a tuple, or ``None``).  ``lines``
+    maps each pc to the source line that produced it.
+    """
+
+    name: str
+    num_params: int
+    num_locals: int
+    ops: list[int] = field(default_factory=list)
+    args: list = field(default_factory=list)
+    lines: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+@dataclass
+class Program:
+    """A fully compiled, executable Minic program."""
+
+    name: str
+    functions: list[Function]
+    func_index: dict[str, int]
+    global_names: list[str]
+    global_init: list  # Per-global: an int initial value or ("array", size).
+    sites: list[BranchSite]
+
+    @property
+    def main_index(self) -> int:
+        return self.func_index["main"]
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.sites)
+
+    def site_by_label(self, label: str) -> BranchSite:
+        """Look up a branch site by its :meth:`BranchSite.label` string."""
+        for site in self.sites:
+            if site.label() == label:
+                return site
+        raise KeyError(label)
+
+    def sites_in_function(self, name: str) -> list[BranchSite]:
+        return [site for site in self.sites if site.function == name]
+
+
+def _format_arg(op: int, arg) -> str:
+    if arg is None:
+        return ""
+    if op == Opcode.CALL_BUILTIN:
+        builtin_id, argc = arg
+        return f" {_BUILTIN_NAMES.get(builtin_id, builtin_id)}/{argc}"
+    if op == Opcode.CALL:
+        func_index, argc = arg
+        return f" f{func_index}/{argc}"
+    if op in (Opcode.BR_FALSE, Opcode.BR_TRUE):
+        target, site_id = arg
+        return f" ->{target} (site {site_id})"
+    return f" {arg}"
+
+
+def disassemble(program: Program, function: str | None = None) -> str:
+    """Render a program (or one function) as readable assembly text.
+
+    Used by tests and for debugging workload programs.
+    """
+    chunks: list[str] = []
+    for func in program.functions:
+        if function is not None and func.name != function:
+            continue
+        chunks.append(f"func {func.name} (params={func.num_params}, locals={func.num_locals})")
+        for pc, (op, arg) in enumerate(zip(func.ops, func.args)):
+            mnemonic = Opcode(op).name
+            chunks.append(f"  {pc:4d}  {mnemonic}{_format_arg(op, arg)}")
+    return "\n".join(chunks)

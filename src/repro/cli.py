@@ -1,0 +1,225 @@
+"""Command-line driver: ``python -m repro.cli`` or the ``repro-2dprof`` script.
+
+Subcommands map to the paper's experiments::
+
+    repro-2dprof list                       # workloads and their inputs
+    repro-2dprof profile gzipish            # 2D-profile one workload (train)
+    repro-2dprof evaluate gzipish           # COV/ACC vs train-vs-ref truth
+    repro-2dprof fig 3                      # print a figure/table's rows
+    repro-2dprof series gapish              # Figure 8 ASCII time series
+    repro-2dprof overhead gzipish           # Figure 16 instrumentation costs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.experiment import ExperimentRunner, SuiteConfig
+from repro.analysis import tables
+from repro.analysis.overhead import measure_overheads
+from repro.analysis.timeseries import figure8_series, render_ascii_series
+from repro.workloads import all_workloads, get_workload
+
+_FIG_BUILDERS = {
+    "2": lambda runner: tables.render_rows(tables.fig2_rows(), "Figure 2: predication cost"),
+    "3": lambda runner: tables.render_rows(
+        tables.fig3_rows(runner), "Figure 3: input-dependent fraction",
+        percent_keys=("dynamic", "static")),
+    "4": lambda runner: tables.render_rows(
+        tables.fig4_rows(runner), "Figure 4: accuracy distribution of input-dependent branches",
+        percent_keys=tuple(label for _, _, label in tables.ACCURACY_BINS)),
+    "5": lambda runner: tables.render_rows(
+        tables.fig5_rows(runner), "Figure 5: input-dependent fraction per accuracy bin",
+        percent_keys=tuple(label for _, _, label in tables.ACCURACY_BINS)),
+    "10": lambda runner: tables.render_rows(tables.fig10_rows(runner), "Figure 10: COV/ACC, two input sets"),
+    "11": lambda runner: tables.render_rows(
+        tables.fig11_rows(runner), "Figure 11: dependent fraction vs #inputs",
+        percent_keys=("base", "base-ext1-1", "base-ext1-2", "base-ext1-3",
+                      "base-ext1-4", "base-ext1-5", "base-ext1-6")),
+    "12": lambda runner: tables.render_rows(tables.fig12_rows(runner), "Figure 12: average COV/ACC vs #inputs"),
+    "13": lambda runner: tables.render_rows(tables.fig13_rows(runner), "Figure 13: COV/ACC, max inputs"),
+    "14": lambda runner: tables.render_rows(
+        tables.fig14_rows(runner), "Figure 14: dependent fraction vs #inputs (perceptron)",
+        percent_keys=("base", "base-ext1-1", "base-ext1-2", "base-ext1-3",
+                      "base-ext1-4", "base-ext1-5", "base-ext1-6")),
+    "15": lambda runner: tables.render_rows(
+        tables.fig13_rows(runner, profiler_predictor="gshare", target_predictor="perceptron"),
+        "Figure 15: COV/ACC, gshare profiler vs perceptron target"),
+    "t1": lambda runner: tables.render_rows(
+        tables.table1_rows(runner), "Table 1: misprediction rates", percent_keys=("train", "ref")),
+    "t2": lambda runner: tables.render_rows(tables.table2_rows(runner), "Table 2: characteristics"),
+    "t4": lambda runner: tables.render_rows(tables.table4_rows(runner), "Table 4: extended inputs"),
+}
+
+
+def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    return ExperimentRunner(SuiteConfig(scale=args.scale))
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for wl in all_workloads():
+        deep = " [deep]" if wl.deep else ""
+        print(f"{wl.name}{deep}: {wl.description}")
+        print(f"    inputs: {', '.join(wl.input_names)}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    report = runner.profile_2d(args.workload, args.predictor)
+    program = get_workload(args.workload).program()
+    dependent = report.input_dependent_sites()
+    print(f"{args.workload}: profiled {len(report.profiled_sites())} branches "
+          f"({program.num_sites} static), overall accuracy {report.overall_accuracy:.3f}")
+    print(f"predicted input-dependent ({len(dependent)}):")
+    for site in sorted(dependent):
+        verdict = report.verdict(site)
+        site_info = program.sites[site]
+        print(f"  {site_info.label():28s} kind={site_info.kind:7s} "
+              f"mean={verdict.mean:.3f} std={verdict.std:.3f} pam={verdict.pam_fraction:.2f}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    metrics = runner.evaluate(args.workload, args.predictor, target_predictor=args.target_predictor)
+    for key, value in metrics.as_row().items():
+        print(f"{key}: {tables.format_fraction(value)}")
+    print(f"(ground truth: {metrics.true_dep} dependent / {metrics.true_indep} independent)")
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    key = args.figure.lower().removeprefix("fig").removeprefix("ure")
+    builder = _FIG_BUILDERS.get(key)
+    if builder is None:
+        print(f"unknown figure {args.figure!r}; known: {', '.join(sorted(_FIG_BUILDERS))}",
+              file=sys.stderr)
+        return 2
+    print(builder(_make_runner(args)))
+    return 0
+
+
+def _cmd_series(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    varying, flat, _overall = figure8_series(runner, args.workload, args.predictor)
+    print(render_ascii_series(varying))
+    print()
+    print(render_ascii_series(flat))
+    return 0
+
+
+def _cmd_whatif(args: argparse.Namespace) -> int:
+    from repro.analysis.whatif import whatif_rows
+
+    runner = _make_runner(args)
+    rows = whatif_rows(runner, args.workloads)
+    print(tables.render_rows(
+        rows, "What-if: normalized cycles on ref (1.00 = never predicate)"))
+    return 0
+
+
+def _cmd_phases(args: argparse.Namespace) -> int:
+    from repro.core.profiler2d import ProfilerConfig
+    from repro.analysis.phases import classify_report
+
+    runner = _make_runner(args)
+    report = runner.profile_2d(args.workload, args.predictor,
+                               config=ProfilerConfig(keep_series=True))
+    program = get_workload(args.workload).program()
+    dependent = sorted(report.input_dependent_sites())
+    verdicts = classify_report(report, sites=dependent)
+    print(f"{args.workload}: phase shapes of {len(dependent)} detected branches")
+    for site in dependent:
+        verdict = verdicts[site]
+        extra = ""
+        if verdict.change_point >= 0:
+            extra = (f" levels {verdict.level_before:.2f}->{verdict.level_after:.2f}"
+                     f" @slice {verdict.change_point}")
+        print(f"  {program.sites[site].label():28s} {verdict.shape.value:12s}"
+              f" std={verdict.std:.3f} crossings={verdict.crossings}{extra}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.reportgen import write_report
+
+    runner = _make_runner(args)
+    path = write_report(runner, args.out, include_whatif=not args.no_whatif)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    rows = measure_overheads(args.workload, scale=args.scale)
+    print(f"{args.workload} (train input):")
+    for row in rows:
+        print(f"  {row.mode:10s} {row.seconds:7.3f}s  x{row.normalized:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-2dprof",
+        description="2D-profiling (CGO 2006) reproduction driver",
+    )
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="input-size multiplier for all workloads (default 1.0)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads").set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("profile", help="run 2D-profiling on one workload's train input")
+    p.add_argument("workload")
+    p.add_argument("--predictor", default="gshare")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("evaluate", help="COV/ACC of 2D-profiling vs train-vs-ref ground truth")
+    p.add_argument("workload")
+    p.add_argument("--predictor", default="gshare")
+    p.add_argument("--target-predictor", default=None,
+                   help="ground-truth predictor (default: same as --predictor)")
+    p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser("fig", help="print a paper figure/table (2,3,4,5,10..15,t1,t2,t4)")
+    p.add_argument("figure")
+    p.set_defaults(func=_cmd_fig)
+
+    p = sub.add_parser("series", help="Figure 8 per-slice accuracy series (ASCII)")
+    p.add_argument("workload", nargs="?", default="gapish")
+    p.add_argument("--predictor", default="gshare")
+    p.set_defaults(func=_cmd_series)
+
+    p = sub.add_parser("overhead", help="Figure 16 instrumentation overhead")
+    p.add_argument("workload", nargs="?", default="gzipish")
+    p.set_defaults(func=_cmd_overhead)
+
+    p = sub.add_parser("whatif", help="predication policy comparison (profile train, run ref)")
+    p.add_argument("workloads", nargs="*", default=["gzipish", "gapish", "vortexish"])
+    p.set_defaults(func=_cmd_whatif)
+
+    p = sub.add_parser("phases", help="classify detected branches' phase shapes")
+    p.add_argument("workload", nargs="?", default="gapish")
+    p.add_argument("--predictor", default="gshare")
+    p.set_defaults(func=_cmd_phases)
+
+    p = sub.add_parser("report", help="write the full experiment report as markdown")
+    p.add_argument("--out", default="REPORT.md")
+    p.add_argument("--no-whatif", action="store_true")
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped into a pager/head that closed early; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

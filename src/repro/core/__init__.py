@@ -1,0 +1,54 @@
+"""The paper's contribution: the 2D-profiling algorithm and its evaluation
+machinery (ground-truth input-dependence, COV/ACC metrics, the predication
+cost model), plus experiment orchestration.
+"""
+
+from repro.core.stats import BranchSliceStats, TestThresholds, mean_test, std_test, pam_test
+from repro.core.profiler2d import (
+    ProfilerConfig,
+    TwoDProfiler,
+    TwoDReport,
+    BranchVerdict,
+    OnlineProfilerTool,
+    profile_trace,
+)
+from repro.core.edge2d import Edge2DProfiler, Edge2DReport
+from repro.core.groundtruth import GroundTruth, ground_truth, accuracy_delta_map
+from repro.core.metrics import CovAccMetrics, evaluate_detection
+from repro.core.predication import (
+    PredicationCosts,
+    branch_cost,
+    predicated_cost,
+    crossover_misprediction_rate,
+    should_predicate,
+    PredicationAdvisor,
+    AdvisorDecision,
+)
+
+__all__ = [
+    "BranchSliceStats",
+    "TestThresholds",
+    "mean_test",
+    "std_test",
+    "pam_test",
+    "ProfilerConfig",
+    "TwoDProfiler",
+    "TwoDReport",
+    "BranchVerdict",
+    "OnlineProfilerTool",
+    "profile_trace",
+    "Edge2DProfiler",
+    "Edge2DReport",
+    "GroundTruth",
+    "ground_truth",
+    "accuracy_delta_map",
+    "CovAccMetrics",
+    "evaluate_detection",
+    "PredicationCosts",
+    "branch_cost",
+    "predicated_cost",
+    "crossover_misprediction_rate",
+    "should_predicate",
+    "PredicationAdvisor",
+    "AdvisorDecision",
+]

@@ -1,0 +1,227 @@
+"""Experiment orchestration with on-disk caching.
+
+Every figure/table in the paper is a function of a small set of expensive
+artifacts: branch traces (one VM run per workload x input) and predictor
+simulations (one replay per trace x predictor).  :class:`ExperimentRunner`
+computes these lazily and caches them both in memory and on disk, keyed by
+(workload, input, scale) and predictor name, so the benchmark suite shares
+runs across figures.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.core.groundtruth import (
+    DEFAULT_MIN_EXECUTIONS,
+    DEFAULT_THRESHOLD,
+    GroundTruth,
+    dynamic_dependent_fraction,
+    ground_truth,
+)
+from repro.core.metrics import CovAccMetrics, evaluate_detection
+from repro.core.profiler2d import ProfilerConfig, TwoDReport, profile_trace
+from repro.predictors import make_predictor, paper_gshare, paper_perceptron
+from repro.predictors.simulate import SimulationResult, simulate
+from repro.trace.capture import capture_trace
+from repro.trace.trace import BranchTrace
+from repro.workloads import get_workload
+
+#: Named predictor configurations used by the experiments.  "gshare" and
+#: "perceptron" are the paper's exact configurations.
+def _predictor_factory(name: str):
+    if name == "gshare":
+        return paper_gshare()
+    if name == "perceptron":
+        return paper_perceptron()
+    return make_predictor(name)
+
+
+def default_cache_dir() -> Path:
+    """Cache root: $REPRO_2DPROF_CACHE or ~/.cache/repro-2dprof."""
+    env = os.environ.get("REPRO_2DPROF_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-2dprof"
+
+
+@dataclass
+class SuiteConfig:
+    """Shared parameters of one experiment campaign."""
+
+    scale: float = 1.0
+    cache_dir: Path = field(default_factory=default_cache_dir)
+    profiler: ProfilerConfig = field(default_factory=ProfilerConfig)
+    dep_threshold: float = DEFAULT_THRESHOLD
+    min_executions: int = DEFAULT_MIN_EXECUTIONS
+    use_disk_cache: bool = True
+
+
+class ExperimentRunner:
+    """Lazily computes and caches traces, simulations, and derived results."""
+
+    def __init__(self, config: SuiteConfig | None = None):
+        self.config = config or SuiteConfig()
+        self._traces: dict[tuple[str, str], BranchTrace] = {}
+        self._sims: dict[tuple[str, str, str], SimulationResult] = {}
+
+    # ------------------------------------------------------------------
+    # Cache paths
+    # ------------------------------------------------------------------
+
+    def _scale_tag(self) -> str:
+        return f"s{self.config.scale:g}"
+
+    def _trace_path(self, workload: str, input_name: str) -> Path:
+        return self.config.cache_dir / "traces" / f"{workload}-{input_name}-{self._scale_tag()}.npz"
+
+    def _sim_path(self, workload: str, input_name: str, predictor: str) -> Path:
+        return (
+            self.config.cache_dir
+            / "sims"
+            / f"{workload}-{input_name}-{self._scale_tag()}-{predictor}.npz"
+        )
+
+    # ------------------------------------------------------------------
+    # Artifacts
+    # ------------------------------------------------------------------
+
+    def trace(self, workload: str, input_name: str) -> BranchTrace:
+        """The branch trace of one (workload, input) run."""
+        key = (workload, input_name)
+        if key in self._traces:
+            return self._traces[key]
+        path = self._trace_path(workload, input_name)
+        if self.config.use_disk_cache and path.exists():
+            trace = BranchTrace.load(path)
+        else:
+            wl = get_workload(workload)
+            trace = capture_trace(wl.program(), wl.make_input(input_name, self.config.scale))
+            if self.config.use_disk_cache:
+                trace.save(path)
+        self._traces[key] = trace
+        return trace
+
+    def simulation(self, workload: str, input_name: str, predictor: str = "gshare") -> SimulationResult:
+        """Predictor simulation over one trace (cold-start replay)."""
+        key = (workload, input_name, predictor)
+        if key in self._sims:
+            return self._sims[key]
+        path = self._sim_path(workload, input_name, predictor)
+        if self.config.use_disk_cache and path.exists():
+            sim = self._load_sim(path)
+        else:
+            trace = self.trace(workload, input_name)
+            sim = simulate(_predictor_factory(predictor), trace)
+            if self.config.use_disk_cache:
+                self._save_sim(path, sim)
+        self._sims[key] = sim
+        return sim
+
+    @staticmethod
+    def _save_sim(path: Path, sim: SimulationResult) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            predictor_name=np.bytes_(sim.predictor_name.encode()),
+            num_sites=np.int64(sim.num_sites),
+            correct=sim.correct,
+            exec_counts=sim.exec_counts,
+            correct_counts=sim.correct_counts,
+        )
+
+    @staticmethod
+    def _load_sim(path: Path) -> SimulationResult:
+        try:
+            with np.load(path) as data:
+                return SimulationResult(
+                    predictor_name=bytes(data["predictor_name"].item()).decode(),
+                    num_sites=int(data["num_sites"]),
+                    correct=data["correct"],
+                    exec_counts=data["exec_counts"],
+                    correct_counts=data["correct_counts"],
+                )
+        except (KeyError, ValueError, OSError) as exc:
+            raise ExperimentError(f"cannot load simulation from {path}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Derived results
+    # ------------------------------------------------------------------
+
+    def profile_2d(
+        self,
+        workload: str,
+        predictor: str = "gshare",
+        input_name: str = "train",
+        config: ProfilerConfig | None = None,
+    ) -> TwoDReport:
+        """Run 2D-profiling for a workload (train input, by default)."""
+        trace = self.trace(workload, input_name)
+        sim = self.simulation(workload, input_name, predictor)
+        return profile_trace(trace, simulation=sim, config=config or self.config.profiler)
+
+    def ground_truth(
+        self,
+        workload: str,
+        predictor: str = "gshare",
+        others: list[str] | None = None,
+    ) -> GroundTruth:
+        """Ground-truth input-dependence vs. the train input.
+
+        ``others`` defaults to ``["ref"]`` (the paper's base definition);
+        pass e.g. ``["ref", "ext-1", "ext-2"]`` for the Section 5.2 unions.
+        """
+        others = others or ["ref"]
+        train_sim = self.simulation(workload, "train", predictor)
+        other_sims = [self.simulation(workload, name, predictor) for name in others]
+        return ground_truth(
+            train_sim,
+            other_sims,
+            threshold=self.config.dep_threshold,
+            min_executions=self.config.min_executions,
+        )
+
+    def evaluate(
+        self,
+        workload: str,
+        profiler_predictor: str = "gshare",
+        target_predictor: str | None = None,
+        others: list[str] | None = None,
+        config: ProfilerConfig | None = None,
+    ) -> CovAccMetrics:
+        """End-to-end COV/ACC of 2D-profiling for one workload.
+
+        The profiler runs with ``profiler_predictor`` on the train input;
+        the ground truth uses ``target_predictor`` (defaults to the same),
+        enabling the paper's Section 5.3 cross-predictor experiment.
+        """
+        target_predictor = target_predictor or profiler_predictor
+        report = self.profile_2d(workload, profiler_predictor, config=config)
+        truth = self.ground_truth(workload, target_predictor, others)
+        return evaluate_detection(report.input_dependent_sites(), truth)
+
+    def dependent_fractions(
+        self,
+        workload: str,
+        predictor: str = "gshare",
+        others: list[str] | None = None,
+    ) -> tuple[float, float]:
+        """(dynamic, static) fraction of input-dependent branches (Fig. 3)."""
+        truth = self.ground_truth(workload, predictor, others)
+        ref_sim = self.simulation(workload, "ref", predictor)
+        return dynamic_dependent_fraction(ref_sim, truth), truth.dependent_fraction
+
+    def incremental_input_sets(self, workload: str) -> list[list[str]]:
+        """The paper's base, base-ext1, ..., base-ext1-k comparison lists."""
+        wl = get_workload(workload)
+        lists: list[list[str]] = [["ref"]]
+        current = ["ref"]
+        for ext in wl.ext_names:
+            current = current + [ext]
+            lists.append(list(current))
+        return lists

@@ -1,0 +1,115 @@
+"""Ground-truth input-dependence (paper Section 2 and Section 4.3).
+
+A branch is *input-dependent* when its prediction accuracy differs by more
+than a threshold (paper: 5 percentage points, absolute) between the
+profiling input set and some other input set, measured with the *target
+machine's* predictor.  With more than two input sets, the set of
+input-dependent branches is the union over all comparisons against the
+profiling (train) input — how the paper builds "base-ext1-k" (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.predictors.simulate import SimulationResult
+
+#: The paper's input-dependence threshold: 5% absolute accuracy change.
+DEFAULT_THRESHOLD = 0.05
+
+#: Executions below which a branch's accuracy is too noisy to compare.
+DEFAULT_MIN_EXECUTIONS = 30
+
+
+@dataclass
+class GroundTruth:
+    """The target sets a detection mechanism is scored against.
+
+    ``universe`` is the set of comparable branches: executed often enough
+    in the train run *and* in at least one other input's run.  ``dependent``
+    and ``independent`` partition the universe.
+    """
+
+    dependent: set[int] = field(default_factory=set)
+    independent: set[int] = field(default_factory=set)
+    universe: set[int] = field(default_factory=set)
+    threshold: float = DEFAULT_THRESHOLD
+
+    @property
+    def dependent_fraction(self) -> float:
+        """Static fraction of input-dependent branches (Fig. 3's static bar)."""
+        return len(self.dependent) / len(self.universe) if self.universe else 0.0
+
+    def merge(self, other: "GroundTruth") -> "GroundTruth":
+        """Union of input-dependence across input-set comparisons (§5.2).
+
+        A branch input-dependent under *any* comparison is input-dependent
+        in the union; the universe is the union of comparable branches.
+        """
+        dependent = self.dependent | other.dependent
+        universe = self.universe | other.universe
+        return GroundTruth(
+            dependent=dependent,
+            independent=universe - dependent,
+            universe=universe,
+            threshold=self.threshold,
+        )
+
+
+def accuracy_delta_map(
+    train: SimulationResult,
+    other: SimulationResult,
+    min_executions: int = DEFAULT_MIN_EXECUTIONS,
+) -> dict[int, float]:
+    """Absolute per-branch accuracy delta between two runs' simulations.
+
+    Only branches executed at least ``min_executions`` times in *both* runs
+    are comparable.
+    """
+    train_acc = train.site_accuracies(min_executions)
+    other_acc = other.site_accuracies(min_executions)
+    return {
+        site: abs(train_acc[site] - other_acc[site])
+        for site in train_acc.keys() & other_acc.keys()
+    }
+
+
+def ground_truth(
+    train: SimulationResult,
+    others: list[SimulationResult],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_executions: int = DEFAULT_MIN_EXECUTIONS,
+) -> GroundTruth:
+    """Build the ground truth from a train run and one or more other runs.
+
+    With ``others = [ref]`` this is the paper's baseline definition; with
+    more entries it is the union ("base-ext1-k") definition of Section 5.2.
+    """
+    if not others:
+        raise ValueError("ground truth needs at least one non-train input set")
+    result: GroundTruth | None = None
+    for other in others:
+        deltas = accuracy_delta_map(train, other, min_executions)
+        universe = set(deltas)
+        dependent = {site for site, delta in deltas.items() if delta > threshold}
+        current = GroundTruth(
+            dependent=dependent,
+            independent=universe - dependent,
+            universe=universe,
+            threshold=threshold,
+        )
+        result = current if result is None else result.merge(current)
+    return result
+
+
+def dynamic_dependent_fraction(reference: SimulationResult, truth: GroundTruth) -> float:
+    """Dynamic fraction of input-dependent branches (Fig. 3's dynamic bar).
+
+    Dynamic executions of input-dependent branches over all conditional
+    branch executions, counted on the reference run (paper footnote 3).
+    """
+    total = int(reference.exec_counts.sum())
+    if total == 0:
+        return 0.0
+    dependent_execs = int(sum(reference.exec_counts[site] for site in truth.dependent))
+    return dependent_execs / total

@@ -1,0 +1,87 @@
+"""Evaluation metrics for input-dependence detection (paper Table 3).
+
+====================  =====================================================
+COV-dep               correctly-identified dependent / all dependent
+ACC-dep               correctly-identified dependent / identified dependent
+COV-indep             correctly-identified independent / all independent
+ACC-indep             correctly-identified independent / identified indep.
+====================  =====================================================
+
+Metrics are computed over the ground truth's *universe*; a detector's
+claims about branches outside the universe (not comparable across inputs)
+are ignored, matching how the paper scores against its defined target set.
+Undefined ratios (0/0) are reported as ``float('nan')`` — the paper's
+footnote 6 warns these cases are unreliable, and our tables print them
+as "n/a".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.groundtruth import GroundTruth
+
+
+@dataclass(frozen=True)
+class CovAccMetrics:
+    """The four Table-3 metrics plus the underlying counts."""
+
+    cov_dep: float
+    acc_dep: float
+    cov_indep: float
+    acc_indep: float
+    true_dep: int
+    identified_dep: int
+    correct_dep: int
+    true_indep: int
+    identified_indep: int
+    correct_indep: int
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "COV-dep": self.cov_dep,
+            "ACC-dep": self.acc_dep,
+            "COV-indep": self.cov_indep,
+            "ACC-indep": self.acc_indep,
+        }
+
+
+def _ratio(numerator: int, denominator: int) -> float:
+    return numerator / denominator if denominator else math.nan
+
+
+def evaluate_detection(predicted_dependent: set[int], truth: GroundTruth) -> CovAccMetrics:
+    """Score a predicted input-dependent set against the ground truth."""
+    universe = truth.universe
+    predicted_dep = predicted_dependent & universe
+    predicted_indep = universe - predicted_dep
+
+    correct_dep = len(predicted_dep & truth.dependent)
+    correct_indep = len(predicted_indep & truth.independent)
+
+    return CovAccMetrics(
+        cov_dep=_ratio(correct_dep, len(truth.dependent)),
+        acc_dep=_ratio(correct_dep, len(predicted_dep)),
+        cov_indep=_ratio(correct_indep, len(truth.independent)),
+        acc_indep=_ratio(correct_indep, len(predicted_indep)),
+        true_dep=len(truth.dependent),
+        identified_dep=len(predicted_dep),
+        correct_dep=correct_dep,
+        true_indep=len(truth.independent),
+        identified_indep=len(predicted_indep),
+        correct_indep=correct_indep,
+    )
+
+
+def average_metrics(metrics: list[CovAccMetrics]) -> dict[str, float]:
+    """Arithmetic mean of each metric over benchmarks, skipping NaNs.
+
+    Mirrors the paper's Figure 12 averaging across its six deep-input
+    benchmarks.
+    """
+    result: dict[str, float] = {}
+    for key in ("COV-dep", "ACC-dep", "COV-indep", "ACC-indep"):
+        values = [m.as_row()[key] for m in metrics if not math.isnan(m.as_row()[key])]
+        result[key] = sum(values) / len(values) if values else math.nan
+    return result

@@ -1,0 +1,139 @@
+"""Predicated-execution cost model and if-conversion advisor (paper §2.1).
+
+Implements equations (1)-(3):
+
+.. math::
+
+    cost_{branch} &= exec_T P(T) + exec_N P(N) + penalty \\cdot P(misp) \\\\
+    cost_{pred}   &= exec_{pred} \\\\
+    predicate     &\\iff cost_{branch} > cost_{pred}
+
+and the advisor policy the paper motivates: predicate only when the
+decision is *robust* — if the branch is input-dependent and its
+misprediction rate is near the crossover point, hand the decision to the
+hardware (a *wish branch* [Kim et al. 2005]) instead of fixing it at
+compile time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+@dataclass(frozen=True)
+class PredicationCosts:
+    """Machine/code parameters of equations (1)-(3).
+
+    Defaults are the paper's Figure 2 example: 30-cycle misprediction
+    penalty, 3-cycle taken/not-taken paths, 5-cycle predicated block.
+    """
+
+    misp_penalty: float = 30.0
+    exec_taken: float = 3.0
+    exec_not_taken: float = 3.0
+    exec_predicated: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.misp_penalty <= 0:
+            raise ValueError("misprediction penalty must be positive")
+        if min(self.exec_taken, self.exec_not_taken, self.exec_predicated) < 0:
+            raise ValueError("execution costs cannot be negative")
+
+
+def branch_cost(costs: PredicationCosts, taken_rate: float, misprediction_rate: float) -> float:
+    """Equation (1): expected cycles of the normal branch code."""
+    _check_probability(taken_rate, "taken_rate")
+    _check_probability(misprediction_rate, "misprediction_rate")
+    return (
+        costs.exec_taken * taken_rate
+        + costs.exec_not_taken * (1.0 - taken_rate)
+        + costs.misp_penalty * misprediction_rate
+    )
+
+
+def predicated_cost(costs: PredicationCosts) -> float:
+    """Equation (2): cycles of the if-converted code."""
+    return costs.exec_predicated
+
+
+def should_predicate(costs: PredicationCosts, taken_rate: float, misprediction_rate: float) -> bool:
+    """Equation (3): predicate iff the branch code is more expensive."""
+    return branch_cost(costs, taken_rate, misprediction_rate) > predicated_cost(costs)
+
+
+def crossover_misprediction_rate(costs: PredicationCosts, taken_rate: float = 0.5) -> float:
+    """Misprediction rate at which both versions cost the same.
+
+    For the paper's Figure 2 parameters this is 2/30 ~= 6.7% ("if the
+    branch misprediction rate is less than 7%, normal branch code takes
+    fewer cycles").  Returns ``inf`` when predication can never win.
+    """
+    base = (
+        costs.exec_taken * taken_rate
+        + costs.exec_not_taken * (1.0 - taken_rate)
+    )
+    gap = costs.exec_predicated - base
+    if gap <= 0:
+        return 0.0  # Predicated code is cheaper even with perfect prediction.
+    return gap / costs.misp_penalty
+
+
+def cost_sweep(costs: PredicationCosts, misprediction_rates, taken_rate: float = 0.5):
+    """Rows of (rate, branch cost, predicated cost) — regenerates Figure 2."""
+    rows = []
+    for rate in misprediction_rates:
+        rows.append((float(rate), branch_cost(costs, taken_rate, rate), predicated_cost(costs)))
+    return rows
+
+
+class AdvisorDecision(Enum):
+    """Per-branch outcome of the if-conversion advisor."""
+
+    KEEP_BRANCH = "branch"
+    PREDICATE = "predicate"
+    WISH_BRANCH = "wish-branch"
+
+
+@dataclass(frozen=True)
+class BranchProfileSummary:
+    """Profile facts the advisor needs about one branch."""
+
+    site_id: int
+    taken_rate: float
+    misprediction_rate: float
+    input_dependent: bool
+
+
+class PredicationAdvisor:
+    """Decides branch vs. predicate vs. wish-branch per static branch.
+
+    Policy (paper Section 2.1.1): apply equation (3); but when the branch
+    is input-dependent *and* its profiled misprediction rate lies within
+    ``guard_band`` of the crossover point, the compile-time decision is not
+    robust across inputs, so emit a wish branch and let the hardware decide
+    at run time.
+    """
+
+    def __init__(self, costs: PredicationCosts | None = None, guard_band: float = 0.05):
+        if guard_band < 0:
+            raise ValueError("guard_band cannot be negative")
+        self.costs = costs or PredicationCosts()
+        self.guard_band = guard_band
+
+    def decide(self, profile: BranchProfileSummary) -> AdvisorDecision:
+        crossover = crossover_misprediction_rate(self.costs, profile.taken_rate)
+        if profile.input_dependent and abs(profile.misprediction_rate - crossover) <= self.guard_band:
+            return AdvisorDecision.WISH_BRANCH
+        if should_predicate(self.costs, profile.taken_rate, profile.misprediction_rate):
+            return AdvisorDecision.PREDICATE
+        return AdvisorDecision.KEEP_BRANCH
+
+    def decide_all(self, profiles) -> dict[int, AdvisorDecision]:
+        """Decision per site for an iterable of branch profile summaries."""
+        return {profile.site_id: self.decide(profile) for profile in profiles}
+
+
+def _check_probability(value: float, what: str) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{what} must be in [0, 1], got {value}")

@@ -1,0 +1,388 @@
+"""The 2D-profiling algorithm (paper Section 3, Figure 9).
+
+Two equivalent execution paths exist and are tested against each other:
+
+* **online** — :class:`TwoDProfiler` receives one ``record(site, correct)``
+  call per dynamic branch (used behind the Pin-style callback hook, as the
+  paper's actual tool runs);
+* **offline** — :func:`profile_trace` replays a captured trace through a
+  predictor simulation and folds whole slices with vectorized numpy
+  bincounts (how the experiment suite runs, orders of magnitude faster).
+
+Both maintain exactly the seven per-branch variables of Figure 9a and
+perform the slice update of Figure 9b, including the 2-tap FIR filter and
+the running-mean NPAM approximation the paper describes in footnote 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.core.stats import (
+    PAM_EPSILON,
+    BranchSliceStats,
+    TestThresholds,
+    classify,
+    mean_test,
+    pam_test,
+    std_test,
+)
+from repro.predictors.base import Predictor
+from repro.predictors.simulate import SimulationResult, simulate
+from repro.trace.trace import BranchTrace
+
+
+@dataclass(frozen=True)
+class ProfilerConfig:
+    """Configuration of one 2D-profiling run.
+
+    ``slice_size`` is in *dynamic conditional branches* (the paper fixes it
+    at 15 M branches for multi-billion-branch SPEC runs; our runs are
+    shorter, so :func:`profile_trace` auto-scales it to give
+    ``target_slices`` slices when it is ``None``).  ``exec_threshold``
+    discards per-branch slice samples with too few executions (paper: 1000
+    for 15 M-branch slices); when ``None`` it scales proportionally to the
+    chosen slice size.  ``use_fir`` and ``pam_exact`` exist for the
+    ablation studies; the paper's algorithm is the default.
+    """
+
+    slice_size: int | None = None
+    exec_threshold: int | None = None
+    thresholds: TestThresholds = field(default_factory=TestThresholds)
+    use_fir: bool = True
+    fir_cold_start: bool = False
+    pam_exact: bool = False
+    keep_series: bool = False
+    target_slices: int = 80
+    min_slice_size: int = 500
+
+    #: paper ratio: exec_threshold 1000 for 15M-branch slices.
+    _EXEC_THRESHOLD_RATIO = 1000 / 15_000_000
+
+    def resolve(self, total_branches: int) -> "ProfilerConfig":
+        """Fill in auto-scaled slice_size / exec_threshold for a run length."""
+        slice_size = self.slice_size
+        if slice_size is None:
+            slice_size = max(self.min_slice_size, total_branches // self.target_slices)
+        exec_threshold = self.exec_threshold
+        if exec_threshold is None:
+            exec_threshold = max(4, int(slice_size * self._EXEC_THRESHOLD_RATIO))
+        return ProfilerConfig(
+            slice_size=slice_size,
+            exec_threshold=exec_threshold,
+            thresholds=self.thresholds,
+            use_fir=self.use_fir,
+            fir_cold_start=self.fir_cold_start,
+            pam_exact=self.pam_exact,
+            keep_series=self.keep_series or self.pam_exact,
+            target_slices=self.target_slices,
+            min_slice_size=self.min_slice_size,
+        )
+
+
+@dataclass(frozen=True)
+class BranchVerdict:
+    """Final per-branch output of a 2D-profiling run."""
+
+    site_id: int
+    input_dependent: bool
+    n_slices: int
+    mean: float
+    std: float
+    pam_fraction: float
+    passed_mean: bool
+    passed_std: bool
+    passed_pam: bool
+
+
+class TwoDReport:
+    """Results of one 2D-profiling run (Figure 9c applied to every branch)."""
+
+    def __init__(
+        self,
+        num_sites: int,
+        stats: list[BranchSliceStats],
+        thresholds: TestThresholds,
+        overall_accuracy: float,
+        config: ProfilerConfig,
+        series: np.ndarray | None = None,
+        slice_overall: np.ndarray | None = None,
+    ):
+        self.num_sites = num_sites
+        self.stats = stats
+        self.thresholds = thresholds
+        self.overall_accuracy = overall_accuracy
+        self.config = config
+        #: Optional (n_slices, num_sites) matrix of raw per-slice accuracies
+        #: with NaN where the branch did not qualify in that slice.
+        self.series = series
+        #: Optional per-slice overall program accuracy (Fig. 8's black line).
+        self.slice_overall = slice_overall
+        self._apply_exact_pam_if_requested()
+
+    def _apply_exact_pam_if_requested(self) -> None:
+        """Ablation: recompute NPAM against the end-of-run mean (footnote 5)."""
+        if not self.config.pam_exact:
+            return
+        if self.series is None:
+            raise ExperimentError("pam_exact requires keep_series")
+        filtered = self._filtered_series()
+        for site, stats in enumerate(self.stats):
+            if stats.N == 0:
+                continue
+            column = filtered[:, site]
+            values = column[~np.isnan(column)]
+            stats.NPAM = int(np.sum(values > stats.mean + PAM_EPSILON))
+
+    def _filtered_series(self) -> np.ndarray:
+        """Apply the FIR filter to the stored raw series, column-wise."""
+        if self.series is None:
+            raise ExperimentError("series was not kept")
+        filtered = np.full_like(self.series, np.nan)
+        for site in range(self.num_sites):
+            lpa = 0.0
+            has_lpa = self.config.fir_cold_start
+            for slice_index in range(self.series.shape[0]):
+                raw = self.series[slice_index, site]
+                if np.isnan(raw):
+                    continue
+                value = (raw + lpa) / 2.0 if (self.config.use_fir and has_lpa) else raw
+                filtered[slice_index, site] = value
+                lpa = value
+                has_lpa = True
+        return filtered
+
+    # ------------------------------------------------------------------
+    # Classification (Figure 9c)
+    # ------------------------------------------------------------------
+
+    @property
+    def mean_threshold(self) -> float:
+        mean_th = self.thresholds.mean_th
+        return mean_th if mean_th is not None else self.overall_accuracy
+
+    def verdict(self, site_id: int) -> BranchVerdict:
+        stats = self.stats[site_id]
+        passed_mean = mean_test(stats, self.mean_threshold)
+        passed_std = std_test(stats, self.thresholds.std_th)
+        passed_pam = pam_test(stats, self.thresholds.pam_th)
+        return BranchVerdict(
+            site_id=site_id,
+            input_dependent=(passed_mean or passed_std) and passed_pam,
+            n_slices=stats.N,
+            mean=stats.mean,
+            std=stats.std,
+            pam_fraction=stats.pam_fraction,
+            passed_mean=passed_mean,
+            passed_std=passed_std,
+            passed_pam=passed_pam,
+        )
+
+    def verdicts(self) -> dict[int, BranchVerdict]:
+        """Verdicts for every branch that qualified in at least one slice."""
+        return {
+            site: self.verdict(site)
+            for site in range(self.num_sites)
+            if self.stats[site].N > 0
+        }
+
+    def input_dependent_sites(self) -> set[int]:
+        """The set the algorithm predicts to be input-dependent."""
+        return {
+            site
+            for site in range(self.num_sites)
+            if self.stats[site].N > 0
+            and classify(self.stats[site], self.thresholds, self.overall_accuracy)
+        }
+
+    def profiled_sites(self) -> set[int]:
+        """Branches with at least one qualifying slice (the decidable set)."""
+        return {site for site in range(self.num_sites) if self.stats[site].N > 0}
+
+    def site_series(self, site_id: int) -> tuple[np.ndarray, np.ndarray]:
+        """(slice_indices, raw accuracies) for one branch — Figure 8 data."""
+        if self.series is None:
+            raise ExperimentError("run with keep_series=True to get time series")
+        column = self.series[:, site_id]
+        valid = ~np.isnan(column)
+        return np.nonzero(valid)[0], column[valid]
+
+
+class TwoDProfiler:
+    """Online 2D-profiler: one :meth:`record` call per dynamic branch."""
+
+    def __init__(self, num_sites: int, config: ProfilerConfig):
+        if config.slice_size is None:
+            raise ExperimentError("online profiling needs an explicit slice_size")
+        self.num_sites = num_sites
+        self.config = config.resolve(total_branches=0)
+        self.stats = [BranchSliceStats() for _ in range(num_sites)]
+        self._slice_size = self.config.slice_size
+        self._exec_threshold = self.config.exec_threshold
+        self._use_fir = self.config.use_fir
+        self._in_slice = 0
+        self.total_branches = 0
+        self.total_correct = 0
+        self._series_rows: list[np.ndarray] | None = [] if self.config.keep_series else None
+        self._slice_overall: list[float] = []
+        self._slice_correct = 0
+
+    def record(self, site_id: int, correct: int) -> None:
+        """Observe one dynamic branch: was the prediction correct?"""
+        stats = self.stats[site_id]
+        stats.exec_counter += 1
+        if correct:
+            stats.predict_counter += 1
+            self.total_correct += 1
+            self._slice_correct += 1
+        self.total_branches += 1
+        self._in_slice += 1
+        if self._in_slice >= self._slice_size:
+            self._end_slice()
+
+    def _end_slice(self) -> None:
+        if self._series_rows is not None:
+            row = np.full(self.num_sites, np.nan)
+            for site, stats in enumerate(self.stats):
+                if stats.exec_counter > self._exec_threshold:
+                    row[site] = stats.predict_counter / stats.exec_counter
+            self._series_rows.append(row)
+        self._slice_overall.append(self._slice_correct / self._in_slice if self._in_slice else 0.0)
+        self._slice_correct = 0
+        for stats in self.stats:
+            if stats.exec_counter:
+                stats.end_slice(self._exec_threshold, self._use_fir, self.config.fir_cold_start)
+        self._in_slice = 0
+
+    def finish(self) -> TwoDReport:
+        """Close the run (folding a sufficiently full final slice) and report.
+
+        A trailing partial slice is processed only if it holds at least
+        half a slice worth of branches; tiny tails would only add noise.
+        """
+        if self._in_slice >= self._slice_size // 2:
+            self._end_slice()
+        overall = self.total_correct / self.total_branches if self.total_branches else 0.0
+        series = np.array(self._series_rows) if self._series_rows is not None and self._series_rows else None
+        slice_overall = np.array(self._slice_overall) if self._slice_overall else None
+        return TwoDReport(
+            num_sites=self.num_sites,
+            stats=self.stats,
+            thresholds=self.config.thresholds,
+            overall_accuracy=overall,
+            config=self.config,
+            series=series,
+            slice_overall=slice_overall,
+        )
+
+
+class OnlineProfilerTool:
+    """Pin-style tool: predictor + online 2D-profiler ("2D+Gshare" mode)."""
+
+    def __init__(self, predictor: Predictor, num_sites: int, config: ProfilerConfig):
+        self.predictor = predictor
+        self.profiler = TwoDProfiler(num_sites, config)
+
+    def on_branch(self, site_id: int, taken: int) -> None:
+        predicted = self.predictor.predict_and_update(site_id, taken)
+        self.profiler.record(site_id, 1 if predicted == taken else 0)
+
+    def finish(self) -> TwoDReport:
+        return self.profiler.finish()
+
+
+def profile_trace(
+    trace: BranchTrace,
+    predictor: Predictor | None = None,
+    config: ProfilerConfig | None = None,
+    simulation: SimulationResult | None = None,
+) -> TwoDReport:
+    """Run 2D-profiling over a captured trace (vectorized fast path).
+
+    Either pass a ``predictor`` (it will be simulated over the trace) or a
+    precomputed ``simulation`` for the same trace.
+    """
+    if (predictor is None) == (simulation is None):
+        raise ExperimentError("pass exactly one of predictor or simulation")
+    if simulation is None:
+        simulation = simulate(predictor, trace)
+    if simulation.num_branches != len(trace):
+        raise ExperimentError("simulation does not match the trace length")
+
+    config = (config or ProfilerConfig()).resolve(total_branches=len(trace))
+    num_sites = trace.num_sites
+    slice_size = config.slice_size
+    exec_threshold = config.exec_threshold
+    use_fir = config.use_fir
+
+    sites = trace.sites
+    correct = simulation.correct.astype(np.float64)
+
+    n = len(trace)
+    boundaries = list(range(0, n, slice_size))
+    # Fold a trailing partial slice only if it is at least half full.
+    full_slices = [(start, min(start + slice_size, n)) for start in boundaries]
+    if full_slices and (full_slices[-1][1] - full_slices[-1][0]) < slice_size // 2:
+        full_slices.pop()
+
+    N = np.zeros(num_sites, dtype=np.int64)
+    SPA = np.zeros(num_sites, dtype=np.float64)
+    SSPA = np.zeros(num_sites, dtype=np.float64)
+    NPAM = np.zeros(num_sites, dtype=np.int64)
+    LPA = np.zeros(num_sites, dtype=np.float64)
+    has_lpa = np.full(num_sites, config.fir_cold_start)
+    series_rows: list[np.ndarray] | None = [] if config.keep_series else None
+    slice_overall: list[float] = []
+
+    for start, stop in full_slices:
+        chunk_sites = sites[start:stop]
+        chunk_correct = correct[start:stop]
+        exec_counts = np.bincount(chunk_sites, minlength=num_sites)
+        correct_counts = np.bincount(chunk_sites, weights=chunk_correct, minlength=num_sites)
+        qualified = exec_counts > exec_threshold
+        if series_rows is not None:
+            row = np.full(num_sites, np.nan)
+            row[qualified] = correct_counts[qualified] / exec_counts[qualified]
+            series_rows.append(row)
+        slice_overall.append(float(chunk_correct.sum()) / (stop - start))
+        if not qualified.any():
+            continue
+        accuracy = correct_counts[qualified] / exec_counts[qualified]
+        if use_fir:
+            filtered = np.where(
+                has_lpa[qualified], (accuracy + LPA[qualified]) / 2.0, accuracy
+            )
+        else:
+            filtered = accuracy
+        has_lpa[qualified] = True
+        N[qualified] += 1
+        SPA[qualified] += filtered
+        SSPA[qualified] += filtered * filtered
+        running_mean = SPA[qualified] / N[qualified]
+        NPAM[qualified] += (filtered > running_mean + PAM_EPSILON).astype(np.int64)
+        LPA[qualified] = filtered
+
+    stats: list[BranchSliceStats] = []
+    for site in range(num_sites):
+        stats.append(
+            BranchSliceStats(
+                N=int(N[site]),
+                SPA=float(SPA[site]),
+                SSPA=float(SSPA[site]),
+                NPAM=int(NPAM[site]),
+                LPA=float(LPA[site]),
+                has_lpa=bool(has_lpa[site]),
+            )
+        )
+    return TwoDReport(
+        num_sites=num_sites,
+        stats=stats,
+        thresholds=config.thresholds,
+        overall_accuracy=simulation.overall_accuracy,
+        config=config,
+        series=np.array(series_rows) if series_rows else None,
+        slice_overall=np.array(slice_overall) if slice_overall else None,
+    )

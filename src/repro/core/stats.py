@@ -1,0 +1,145 @@
+"""Per-branch slice statistics and the three input-dependence tests.
+
+This module is the pure-function core of the paper's Figure 9: the seven
+per-branch variables (Figure 9a) live in :class:`BranchSliceStats`, and the
+MEAN/STD/PAM tests (Figure 9c) are standalone functions so they can be unit
+tested and recombined by ablation studies.
+
+Accuracies are represented in [0, 1]; the paper's thresholds translate as
+``STD_th = 4 (%) -> 0.04``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Guard band for the "filtered > running mean" comparison: summing many
+#: identical accuracies accumulates rounding, and a strictly-greater test
+#: must not fire on that jitter (a dead-flat branch has NPAM == 0).
+PAM_EPSILON = 1e-12
+
+
+@dataclass
+class BranchSliceStats:
+    """The per-branch state of Figure 9a.
+
+    ``N`` counts qualifying slices; ``SPA``/``SSPA`` accumulate (squares
+    of) FIR-filtered per-slice prediction accuracies; ``NPAM`` counts
+    slices whose filtered accuracy exceeded the *running* mean; ``LPA`` is
+    the previous slice's filtered accuracy (FIR filter state).
+    ``exec_counter``/``predict_counter`` are the intra-slice temporaries.
+    """
+
+    N: int = 0
+    SPA: float = 0.0
+    SSPA: float = 0.0
+    NPAM: int = 0
+    LPA: float = 0.0
+    exec_counter: int = 0
+    predict_counter: int = 0
+    has_lpa: bool = False
+
+    # -- Figure 9b: method executed for each branch at the end of a slice --
+
+    def end_slice(self, exec_threshold: int, use_fir: bool = True, fir_cold_start: bool = False) -> None:
+        """Fold the current slice into the accumulated statistics.
+
+        Mirrors Figure 9b line by line: slices in which the branch executed
+        at most ``exec_threshold`` times are discarded (noise/warm-up
+        control), the FIR filter averages the slice accuracy with the
+        previous slice's, and NPAM compares against the *running* mean.
+
+        One implementation choice deviates from the literal pseudocode by
+        default: the FIR filter *warm-starts* — a branch's first qualifying
+        slice passes through unfiltered instead of being averaged with an
+        LPA of 0.  A cold start halves the first sample, which at our slice
+        counts (tens of slices per run, same as the paper's shortest runs)
+        permanently depresses the running mean and saturates the PAM
+        fraction toward 1 for every branch.  Set ``fir_cold_start=True``
+        to reproduce the literal pseudocode (ablation bench).
+        """
+        if self.exec_counter > exec_threshold:
+            self.N += 1
+            pred_acc = self.predict_counter / self.exec_counter
+            if use_fir and (self.has_lpa or fir_cold_start):
+                filtered = (pred_acc + self.LPA) / 2.0
+            else:
+                filtered = pred_acc
+            self.SPA += filtered
+            self.SSPA += filtered * filtered
+            running_mean = self.SPA / self.N
+            if filtered > running_mean + PAM_EPSILON:
+                self.NPAM += 1
+            self.LPA = filtered
+            self.has_lpa = True
+        self.exec_counter = 0
+        self.predict_counter = 0
+
+    # -- Derived statistics ------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Mean FIR-filtered per-slice prediction accuracy."""
+        return self.SPA / self.N if self.N else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the per-slice accuracies."""
+        if self.N == 0:
+            return 0.0
+        variance = self.SSPA / self.N - self.mean ** 2
+        return math.sqrt(variance) if variance > 0.0 else 0.0
+
+    @property
+    def pam_fraction(self) -> float:
+        """Fraction of qualifying slices above the running mean."""
+        return self.NPAM / self.N if self.N else 0.0
+
+
+@dataclass(frozen=True)
+class TestThresholds:
+    """Threshold set for the three tests (paper Section 4.1).
+
+    ``mean_th`` is the program's overall prediction accuracy when ``None``
+    (the paper's choice); ``std_th`` defaults to the paper's 4 percentage
+    points; ``pam_th`` is not legible in our copy of the paper text and
+    defaults to 0.05 (documented in EXPERIMENTS.md).
+    """
+
+    # Not a test class, despite the name (silences pytest collection).
+    __test__ = False
+
+    mean_th: float | None = None
+    std_th: float = 0.04
+    pam_th: float = 0.05
+
+
+def mean_test(stats: BranchSliceStats, mean_th: float) -> bool:
+    """MEAN-test: mean per-slice accuracy below the threshold (Fig. 9c 13-16)."""
+    return stats.N > 0 and stats.mean < mean_th
+
+
+def std_test(stats: BranchSliceStats, std_th: float) -> bool:
+    """STD-test: per-slice accuracy stddev above the threshold (Fig. 9c 17-20)."""
+    return stats.N > 0 and stats.std > std_th
+
+
+def pam_test(stats: BranchSliceStats, pam_th: float) -> bool:
+    """PAM-test: two-tailed outlier filter on points-above-mean (Fig. 9c 21-25)."""
+    if stats.N == 0:
+        return False
+    fraction = stats.pam_fraction
+    if fraction < pam_th:
+        return False
+    if fraction > 1.0 - pam_th:
+        return False
+    return True
+
+
+def classify(stats: BranchSliceStats, thresholds: TestThresholds, overall_accuracy: float) -> bool:
+    """Final verdict of Figure 9c lines 26-28: (MEAN or STD) and PAM."""
+    mean_th = thresholds.mean_th if thresholds.mean_th is not None else overall_accuracy
+    if not (mean_test(stats, mean_th) or std_test(stats, thresholds.std_th)):
+        return False
+    return pam_test(stats, thresholds.pam_th)

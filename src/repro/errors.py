@@ -1,0 +1,63 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish front-end, runtime, and experiment errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class MinicError(ReproError):
+    """Base class for errors produced while processing Minic source code."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.message = message
+        self.line = line
+        self.column = column
+        location = f" at line {line}:{column}" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class LexError(MinicError):
+    """Invalid character sequence encountered while tokenizing."""
+
+
+class ParseError(MinicError):
+    """Token stream does not form a valid Minic program."""
+
+
+class SemanticError(MinicError):
+    """Program is syntactically valid but violates static semantics."""
+
+
+class CodegenError(MinicError):
+    """Internal error while lowering a checked AST to bytecode."""
+
+
+class VMError(ReproError):
+    """Base class for errors raised during bytecode execution."""
+
+
+class VMRuntimeError(VMError):
+    """Run-time fault in the guest program (bad index, div by zero, ...)."""
+
+
+class FuelExhausted(VMError):
+    """The configured instruction budget was exhausted before completion."""
+
+    def __init__(self, executed: int):
+        self.executed = executed
+        super().__init__(f"instruction budget exhausted after {executed} instructions")
+
+
+class TraceError(ReproError):
+    """A branch trace file or container is malformed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment specification or cached artifact is invalid."""

@@ -1,0 +1,17 @@
+"""Minic: the small C-like language used to author workload programs.
+
+The public entry point is :func:`repro.lang.compiler.compile_source`, which
+turns Minic source text into an executable :class:`repro.bytecode.program.Program`.
+
+Minic exists because the paper profiles compiled C programs (SPEC CPU2000
+INT) and we need programs with *real* compiled control flow — loops,
+short-circuit conditions, data-dependent dispatch — rather than synthetic
+branch streams.  The front end is deliberately conventional: a hand-written
+lexer, a recursive-descent parser producing a typed AST, a semantic checker,
+an AST-level constant folder, a stack-machine code generator, and a peephole
+optimizer.
+"""
+
+from repro.lang.compiler import compile_source
+
+__all__ = ["compile_source"]

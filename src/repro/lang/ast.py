@@ -1,0 +1,202 @@
+"""AST node definitions for Minic.
+
+All nodes are small frozen-ish dataclasses carrying their source line for
+diagnostics.  Expression nodes and statement nodes form two disjoint
+hierarchies rooted at :class:`Expr` and :class:`Stmt`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass
+class Name(Expr):
+    """Reference to a variable (local, parameter, or global)."""
+
+    ident: str
+
+
+@dataclass
+class Index(Expr):
+    """Array element read: ``base[index]``."""
+
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Unary(Expr):
+    """Unary operator application; ``op`` is one of ``- ! ~``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    """Binary operator application (arithmetic, bitwise, comparison)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Logical(Expr):
+    """Short-circuit ``&&`` / ``||``.
+
+    Kept distinct from :class:`Binary` because it lowers to conditional
+    branches rather than to an ALU opcode.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Call(Expr):
+    """Function or builtin call."""
+
+    name: str
+    args: list[Expr] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class VarDecl(Stmt):
+    """``var x = expr;`` or ``var x[size];`` (local array)."""
+
+    name: str
+    init: Expr | None = None
+    array_size: Expr | None = None
+
+
+@dataclass
+class Assign(Stmt):
+    """Assignment to a name or an array element.
+
+    ``op`` is ``"="`` for plain assignment or the underlying binary operator
+    (e.g. ``"+"``) for compound assignment.
+    """
+
+    target: Expr  # Name or Index
+    op: str
+    value: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_body: Stmt
+    else_body: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    """C-style for loop; any of init/cond/step may be absent."""
+
+    init: Stmt | None
+    cond: Expr | None
+    step: Stmt | None
+    body: Stmt
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """An expression evaluated for its side effects (usually a call)."""
+
+    expr: Expr
+
+
+@dataclass
+class Block(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Top-level declarations
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class GlobalDecl(Node):
+    """``global g = 3;`` or ``global table[16];``."""
+
+    name: str
+    init: Expr | None = None
+    array_size: Expr | None = None
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str
+    params: list[str]
+    body: Block
+
+
+@dataclass
+class Program(Node):
+    """A whole Minic translation unit."""
+
+    globals: list[GlobalDecl] = field(default_factory=list)
+    functions: list[FuncDecl] = field(default_factory=list)

@@ -1,0 +1,321 @@
+"""Bytecode generation for checked Minic ASTs.
+
+Conditions are compiled in *branch context* (``_gen_branch``): ``if``,
+``while``, ``for`` and ``do``-``while`` conditions, including short-circuit
+``&&`` / ``||``, lower to direct conditional branches the way a C compiler
+would, so the static branch sites of a Minic program resemble those of the
+compiled SPEC binaries the paper profiles.  Logical operators used in
+*value* context materialize a 0/1 result with branches tagged ``logical``.
+
+Branch-site ids are assigned by the compiler driver after optimization;
+here every conditional branch carries a ``(target, None)`` placeholder plus
+a kind/line record.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodegenError
+from repro.lang import ast
+from repro.lang.semantics import BUILTINS, SemanticInfo, const_eval
+from repro.bytecode.builder import FunctionBuilder, Label
+from repro.bytecode.opcodes import BUILTIN_IDS, Opcode
+from repro.bytecode.program import Function
+
+_BINOP_OPCODE = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "%": Opcode.MOD,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SHL,
+    ">>": Opcode.SHR,
+    "==": Opcode.EQ,
+    "!=": Opcode.NE,
+    "<": Opcode.LT,
+    "<=": Opcode.LE,
+    ">": Opcode.GT,
+    ">=": Opcode.GE,
+}
+
+_UNOP_OPCODE = {
+    "-": Opcode.NEG,
+    "!": Opcode.NOT,
+    "~": Opcode.BNOT,
+}
+
+
+class FunctionCodegen:
+    """Generates bytecode for one function."""
+
+    def __init__(self, func: ast.FuncDecl, info: SemanticInfo, func_index: dict[str, int]):
+        self.func = func
+        self.info = info
+        self.func_index = func_index
+        self.builder = FunctionBuilder(func.name, num_params=len(func.params))
+        # Stack of (continue_label, break_label) for enclosing loops.
+        self.loops: list[tuple[Label, Label]] = []
+
+    def generate(self) -> Function:
+        self._gen_block(self.func.body)
+        # Implicit `return 0;` for functions that fall off the end.
+        self.builder.emit(Opcode.CONST, 0, self.func.line)
+        self.builder.emit(Opcode.RET, None, self.func.line)
+        return self.builder.finish(num_locals=self.info.functions[self.func.name].local_count)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _gen_block(self, block: ast.Block) -> None:
+        for stmt in block.body:
+            self._gen_stmt(stmt)
+
+    def _gen_stmt(self, stmt: ast.Stmt) -> None:
+        emit = self.builder.emit
+        if isinstance(stmt, ast.Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.array_size is not None:
+                self._gen_expr(stmt.array_size)
+                emit(Opcode.NEW_ARRAY, None, stmt.line)
+            elif stmt.init is not None:
+                self._gen_expr(stmt.init)
+            else:
+                emit(Opcode.CONST, 0, stmt.line)
+            emit(Opcode.STORE_LOCAL, stmt.slot, stmt.line)
+        elif isinstance(stmt, ast.Assign):
+            self._gen_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._gen_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._gen_expr(stmt.value)
+            else:
+                emit(Opcode.CONST, 0, stmt.line)
+            emit(Opcode.RET, None, stmt.line)
+        elif isinstance(stmt, ast.Break):
+            if not self.loops:
+                raise CodegenError("'break' outside loop reached codegen", stmt.line)
+            self.builder.emit_jump(self.loops[-1][1], stmt.line)
+        elif isinstance(stmt, ast.Continue):
+            if not self.loops:
+                raise CodegenError("'continue' outside loop reached codegen", stmt.line)
+            self.builder.emit_jump(self.loops[-1][0], stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._gen_expr(stmt.expr)
+            emit(Opcode.POP, None, stmt.line)
+        else:  # pragma: no cover
+            raise CodegenError(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    def _gen_assign(self, stmt: ast.Assign) -> None:
+        emit = self.builder.emit
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            scope, index = target.binding
+            if stmt.op != "=":
+                emit(Opcode.LOAD_LOCAL if scope == "local" else Opcode.LOAD_GLOBAL, index, stmt.line)
+                self._gen_expr(stmt.value)
+                emit(_BINOP_OPCODE[stmt.op], None, stmt.line)
+            else:
+                self._gen_expr(stmt.value)
+            emit(Opcode.STORE_LOCAL if scope == "local" else Opcode.STORE_GLOBAL, index, stmt.line)
+        elif isinstance(target, ast.Index):
+            self._gen_expr(target.base)
+            self._gen_expr(target.index)
+            if stmt.op != "=":
+                emit(Opcode.DUP2, None, stmt.line)
+                emit(Opcode.LOAD_INDEX, None, stmt.line)
+                self._gen_expr(stmt.value)
+                emit(_BINOP_OPCODE[stmt.op], None, stmt.line)
+            else:
+                self._gen_expr(stmt.value)
+            emit(Opcode.STORE_INDEX, None, stmt.line)
+        else:  # pragma: no cover - parser rejects other targets
+            raise CodegenError("invalid assignment target", stmt.line)
+
+    def _gen_if(self, stmt: ast.If) -> None:
+        end_label = self.builder.new_label()
+        if stmt.else_body is None:
+            self._gen_branch(stmt.cond, end_label, when_true=False, kind="if")
+            self._gen_stmt(stmt.then_body)
+        else:
+            else_label = self.builder.new_label()
+            self._gen_branch(stmt.cond, else_label, when_true=False, kind="if")
+            self._gen_stmt(stmt.then_body)
+            self.builder.emit_jump(end_label, stmt.line)
+            self.builder.place(else_label)
+            self._gen_stmt(stmt.else_body)
+        self.builder.place(end_label)
+
+    def _gen_while(self, stmt: ast.While) -> None:
+        cond_label = self.builder.new_label()
+        end_label = self.builder.new_label()
+        self.builder.place(cond_label)
+        self._gen_branch(stmt.cond, end_label, when_true=False, kind="loop")
+        self.loops.append((cond_label, end_label))
+        self._gen_stmt(stmt.body)
+        self.loops.pop()
+        self.builder.emit_jump(cond_label, stmt.line)
+        self.builder.place(end_label)
+
+    def _gen_do_while(self, stmt: ast.DoWhile) -> None:
+        body_label = self.builder.new_label()
+        cont_label = self.builder.new_label()
+        end_label = self.builder.new_label()
+        self.builder.place(body_label)
+        self.loops.append((cont_label, end_label))
+        self._gen_stmt(stmt.body)
+        self.loops.pop()
+        self.builder.place(cont_label)
+        self._gen_branch(stmt.cond, body_label, when_true=True, kind="loop")
+        self.builder.place(end_label)
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        cond_label = self.builder.new_label()
+        step_label = self.builder.new_label()
+        end_label = self.builder.new_label()
+        if stmt.init is not None:
+            self._gen_stmt(stmt.init)
+        self.builder.place(cond_label)
+        if stmt.cond is not None:
+            self._gen_branch(stmt.cond, end_label, when_true=False, kind="loop")
+        self.loops.append((step_label, end_label))
+        self._gen_stmt(stmt.body)
+        self.loops.pop()
+        self.builder.place(step_label)
+        if stmt.step is not None:
+            self._gen_stmt(stmt.step)
+        self.builder.emit_jump(cond_label, stmt.line)
+        self.builder.place(end_label)
+
+    # ------------------------------------------------------------------
+    # Branch-context expression compilation
+    # ------------------------------------------------------------------
+
+    def _gen_branch(self, expr: ast.Expr, target: Label, when_true: bool, kind: str) -> None:
+        """Emit code that jumps to ``target`` iff ``expr`` is truthy == ``when_true``."""
+        if isinstance(expr, ast.IntLiteral):
+            if bool(expr.value) == when_true:
+                self.builder.emit_jump(target, expr.line)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self._gen_branch(expr.operand, target, not when_true, kind)
+            return
+        if isinstance(expr, ast.Logical):
+            self._gen_logical_branch(expr, target, when_true, kind)
+            return
+        self._gen_expr(expr)
+        op = Opcode.BR_TRUE if when_true else Opcode.BR_FALSE
+        self.builder.emit_branch(op, target, kind, expr.line)
+
+    def _gen_logical_branch(self, expr: ast.Logical, target: Label, when_true: bool, kind: str) -> None:
+        if expr.op == "&&":
+            if when_true:
+                # Jump to target when both sides are true.
+                skip = self.builder.new_label()
+                self._gen_branch(expr.left, skip, when_true=False, kind=kind)
+                self._gen_branch(expr.right, target, when_true=True, kind=kind)
+                self.builder.place(skip)
+            else:
+                # Jump to target when either side is false.
+                self._gen_branch(expr.left, target, when_true=False, kind=kind)
+                self._gen_branch(expr.right, target, when_true=False, kind=kind)
+        else:  # "||"
+            if when_true:
+                self._gen_branch(expr.left, target, when_true=True, kind=kind)
+                self._gen_branch(expr.right, target, when_true=True, kind=kind)
+            else:
+                skip = self.builder.new_label()
+                self._gen_branch(expr.left, skip, when_true=True, kind=kind)
+                self._gen_branch(expr.right, target, when_true=False, kind=kind)
+                self.builder.place(skip)
+
+    # ------------------------------------------------------------------
+    # Value-context expression compilation
+    # ------------------------------------------------------------------
+
+    def _gen_expr(self, expr: ast.Expr) -> None:
+        emit = self.builder.emit
+        if isinstance(expr, ast.IntLiteral):
+            emit(Opcode.CONST, expr.value, expr.line)
+        elif isinstance(expr, ast.Name):
+            scope, index = expr.binding
+            emit(Opcode.LOAD_LOCAL if scope == "local" else Opcode.LOAD_GLOBAL, index, expr.line)
+        elif isinstance(expr, ast.Index):
+            self._gen_expr(expr.base)
+            self._gen_expr(expr.index)
+            emit(Opcode.LOAD_INDEX, None, expr.line)
+        elif isinstance(expr, ast.Unary):
+            self._gen_expr(expr.operand)
+            emit(_UNOP_OPCODE[expr.op], None, expr.line)
+        elif isinstance(expr, ast.Binary):
+            self._gen_expr(expr.left)
+            self._gen_expr(expr.right)
+            emit(_BINOP_OPCODE[expr.op], None, expr.line)
+        elif isinstance(expr, ast.Logical):
+            # Materialize a 0/1 value with short-circuit evaluation.
+            false_label = self.builder.new_label()
+            end_label = self.builder.new_label()
+            self._gen_branch(expr, false_label, when_true=False, kind="logical")
+            emit(Opcode.CONST, 1, expr.line)
+            self.builder.emit_jump(end_label, expr.line)
+            self.builder.place(false_label)
+            emit(Opcode.CONST, 0, expr.line)
+            self.builder.place(end_label)
+        elif isinstance(expr, ast.Call):
+            for arg in expr.args:
+                self._gen_expr(arg)
+            scope, name = expr.target
+            if scope == "func":
+                emit(Opcode.CALL, (self.func_index[name], len(expr.args)), expr.line)
+            else:
+                emit(Opcode.CALL_BUILTIN, (BUILTIN_IDS[name], len(expr.args)), expr.line)
+        else:  # pragma: no cover
+            raise CodegenError(f"unknown expression {type(expr).__name__}", expr.line)
+
+
+def generate_functions(
+    program: ast.Program, info: SemanticInfo
+) -> tuple[list[Function], dict[str, int], list[dict[int, tuple[str, int]]]]:
+    """Generate bytecode for every function in ``program``.
+
+    Returns ``(functions, func_index, branch_meta)`` where ``branch_meta``
+    holds, per function, a map ``pc -> (kind, line)`` for each conditional
+    branch instruction.
+    """
+    func_index = {func.name: idx for idx, func in enumerate(program.functions)}
+    functions: list[Function] = []
+    branch_meta: list[dict[int, tuple[str, int]]] = []
+    for func in program.functions:
+        codegen = FunctionCodegen(func, info, func_index)
+        compiled = codegen.generate()
+        functions.append(compiled)
+        branch_meta.append({b.pc: (b.kind, b.line) for b in codegen.builder.branches})
+    return functions, func_index, branch_meta
+
+
+def global_initializers(program: ast.Program) -> tuple[list[str], list]:
+    """Compute global names and initial values (ints or ("array", size))."""
+    names: list[str] = []
+    init: list = []
+    for decl in program.globals:
+        names.append(decl.name)
+        if decl.array_size is not None:
+            init.append(("array", const_eval(decl.array_size, "global array size")))
+        elif decl.init is not None:
+            init.append(const_eval(decl.init, "global initializer"))
+        else:
+            init.append(0)
+    return names, init
+
+
+__all__ = ["generate_functions", "global_initializers", "BUILTINS"]

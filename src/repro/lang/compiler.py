@@ -1,0 +1,69 @@
+"""Compiler driver: Minic source text -> executable :class:`Program`.
+
+Pipeline: lex -> parse -> constant folding -> semantic check -> codegen ->
+jump threading -> branch-site numbering.
+"""
+
+from __future__ import annotations
+
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.optimizer import fold_program, thread_jumps
+from repro.lang.semantics import check
+from repro.lang.codegen import generate_functions, global_initializers
+from repro.bytecode.opcodes import Opcode
+from repro.bytecode.program import BranchSite, Function, Program
+
+
+def _assign_branch_sites(
+    functions: list[Function], branch_meta: list[dict[int, tuple[str, int]]]
+) -> list[BranchSite]:
+    """Number every conditional branch program-wide, in (function, pc) order."""
+    sites: list[BranchSite] = []
+    for func, meta in zip(functions, branch_meta):
+        for pc, op in enumerate(func.ops):
+            if op in (Opcode.BR_FALSE, Opcode.BR_TRUE):
+                kind, line = meta.get(pc, ("if", func.lines[pc]))
+                site_id = len(sites)
+                target, _ = func.args[pc]
+                func.args[pc] = (target, site_id)
+                sites.append(
+                    BranchSite(site_id=site_id, function=func.name, pc=pc, line=line, kind=kind)
+                )
+    return sites
+
+
+def compile_source(source: str, name: str = "<minic>", optimize: bool = True) -> Program:
+    """Compile Minic source text into an executable program.
+
+    Parameters
+    ----------
+    source:
+        Minic source code.
+    name:
+        Program name recorded in the :class:`Program` (used by reports and
+        trace caching).
+    optimize:
+        Apply AST constant folding and bytecode jump threading.  Branch-site
+        numbering depends on the emitted code, so programs compiled with and
+        without optimization have different (but internally consistent)
+        site tables.
+    """
+    tokens = tokenize(source)
+    tree = parse(tokens)
+    if optimize:
+        tree = fold_program(tree)
+    info = check(tree)
+    functions, func_index, branch_meta = generate_functions(tree, info)
+    if optimize:
+        thread_jumps(functions)
+    sites = _assign_branch_sites(functions, branch_meta)
+    global_names, global_init = global_initializers(tree)
+    return Program(
+        name=name,
+        functions=functions,
+        func_index=func_index,
+        global_names=global_names,
+        global_init=global_init,
+        sites=sites,
+    )

@@ -1,0 +1,163 @@
+"""Hand-written lexer for Minic.
+
+The lexer is a straightforward single-pass scanner.  It recognises decimal
+and hexadecimal integer literals, identifiers/keywords, the operator set in
+:mod:`repro.lang.tokens`, ``//`` line comments and ``/* ... */`` block
+comments.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+
+# Multi-character operators, longest first so maximal munch works with a
+# simple ordered scan.
+_OPERATORS = [
+    ("<<=", TokenKind.SHL_ASSIGN),
+    (">>=", TokenKind.SHR_ASSIGN),
+    ("<<", TokenKind.SHL),
+    (">>", TokenKind.SHR),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NE),
+    ("&&", TokenKind.ANDAND),
+    ("||", TokenKind.OROR),
+    ("+=", TokenKind.PLUS_ASSIGN),
+    ("-=", TokenKind.MINUS_ASSIGN),
+    ("*=", TokenKind.STAR_ASSIGN),
+    ("/=", TokenKind.SLASH_ASSIGN),
+    ("%=", TokenKind.PERCENT_ASSIGN),
+    ("&=", TokenKind.AMP_ASSIGN),
+    ("|=", TokenKind.PIPE_ASSIGN),
+    ("^=", TokenKind.CARET_ASSIGN),
+    ("<", TokenKind.LT),
+    (">", TokenKind.GT),
+    ("=", TokenKind.ASSIGN),
+    ("+", TokenKind.PLUS),
+    ("-", TokenKind.MINUS),
+    ("*", TokenKind.STAR),
+    ("/", TokenKind.SLASH),
+    ("%", TokenKind.PERCENT),
+    ("&", TokenKind.AMP),
+    ("|", TokenKind.PIPE),
+    ("^", TokenKind.CARET),
+    ("~", TokenKind.TILDE),
+    ("!", TokenKind.BANG),
+    ("(", TokenKind.LPAREN),
+    (")", TokenKind.RPAREN),
+    ("{", TokenKind.LBRACE),
+    ("}", TokenKind.RBRACE),
+    ("[", TokenKind.LBRACKET),
+    ("]", TokenKind.RBRACKET),
+    (",", TokenKind.COMMA),
+    (";", TokenKind.SEMICOLON),
+]
+
+
+class Lexer:
+    """Tokenizes one Minic source string."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Return the full token list, terminated by a single EOF token."""
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments; raise on an unterminated comment."""
+        src = self.source
+        while self.pos < len(src):
+            ch = src[self.pos]
+            if ch in " \t\r\n":
+                self._advance()
+            elif src.startswith("//", self.pos):
+                while self.pos < len(src) and src[self.pos] != "\n":
+                    self._advance()
+            elif src.startswith("/*", self.pos):
+                start_line, start_col = self.line, self.column
+                self._advance(2)
+                while self.pos < len(src) and not src.startswith("*/", self.pos):
+                    self._advance()
+                if self.pos >= len(src):
+                    raise LexError("unterminated block comment", start_line, start_col)
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        src = self.source
+        if self.pos >= len(src):
+            return Token(TokenKind.EOF, "", self.line, self.column)
+
+        line, column = self.line, self.column
+        ch = src[self.pos]
+
+        if ch.isdigit():
+            return self._lex_number(line, column)
+        if ch.isalpha() or ch == "_":
+            return self._lex_ident(line, column)
+
+        for text, kind in _OPERATORS:
+            if src.startswith(text, self.pos):
+                self._advance(len(text))
+                return Token(kind, text, line, column)
+
+        raise LexError(f"unexpected character {ch!r}", line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        src = self.source
+        start = self.pos
+        if src.startswith(("0x", "0X"), self.pos):
+            self._advance(2)
+            while self.pos < len(src) and (src[self.pos].isdigit() or src[self.pos] in "abcdefABCDEF"):
+                self._advance()
+            text = src[start:self.pos]
+            if len(text) == 2:
+                raise LexError("malformed hexadecimal literal", line, column)
+            return Token(TokenKind.INT, text, line, column, value=int(text, 16))
+
+        while self.pos < len(src) and src[self.pos].isdigit():
+            self._advance()
+        if self.pos < len(src) and (src[self.pos].isalpha() or src[self.pos] == "_"):
+            raise LexError("identifier cannot start with a digit", line, column)
+        text = src[start:self.pos]
+        return Token(TokenKind.INT, text, line, column, value=int(text, 10))
+
+    def _lex_ident(self, line: int, column: int) -> Token:
+        src = self.source
+        start = self.pos
+        while self.pos < len(src) and (src[self.pos].isalnum() or src[self.pos] == "_"):
+            self._advance()
+        text = src[start:self.pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: tokenize ``source`` in one call."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,172 @@
+"""Optimizations: AST constant folding and bytecode jump threading.
+
+Folding runs *before* semantic analysis (like a C compiler's front end, it
+may prune statically-dead branches).  Jump threading runs after codegen but
+before branch-site numbering; it only retargets jumps — it never inserts or
+removes instructions — so program counters stay stable and no relocation
+pass is needed.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.lang.semantics import fold_binary, fold_unary
+from repro.bytecode.opcodes import Opcode
+from repro.bytecode.program import Function
+
+# ----------------------------------------------------------------------
+# AST constant folding
+# ----------------------------------------------------------------------
+
+
+def fold_program(program: ast.Program) -> ast.Program:
+    """Constant-fold every function body in place; return the program."""
+    for func in program.functions:
+        func.body = _fold_stmt(func.body)
+    return program
+
+
+def _fold_expr(expr: ast.Expr) -> ast.Expr:
+    if isinstance(expr, ast.Unary):
+        expr.operand = _fold_expr(expr.operand)
+        if isinstance(expr.operand, ast.IntLiteral):
+            return ast.IntLiteral(line=expr.line, value=fold_unary(expr.op, expr.operand.value))
+        return expr
+    if isinstance(expr, ast.Binary):
+        expr.left = _fold_expr(expr.left)
+        expr.right = _fold_expr(expr.right)
+        if isinstance(expr.left, ast.IntLiteral) and isinstance(expr.right, ast.IntLiteral):
+            try:
+                value = fold_binary(expr.op, expr.left.value, expr.right.value)
+            except ZeroDivisionError:
+                return expr  # Leave the fault to be raised at run time.
+            return ast.IntLiteral(line=expr.line, value=value)
+        return expr
+    if isinstance(expr, ast.Logical):
+        expr.left = _fold_expr(expr.left)
+        expr.right = _fold_expr(expr.right)
+        if isinstance(expr.left, ast.IntLiteral):
+            left_true = expr.left.value != 0
+            if expr.op == "&&" and not left_true:
+                return ast.IntLiteral(line=expr.line, value=0)
+            if expr.op == "||" and left_true:
+                return ast.IntLiteral(line=expr.line, value=1)
+            if isinstance(expr.right, ast.IntLiteral):
+                return ast.IntLiteral(line=expr.line, value=int(expr.right.value != 0))
+        return expr
+    if isinstance(expr, ast.Index):
+        expr.base = _fold_expr(expr.base)
+        expr.index = _fold_expr(expr.index)
+        return expr
+    if isinstance(expr, ast.Call):
+        expr.args = [_fold_expr(arg) for arg in expr.args]
+        return expr
+    return expr  # IntLiteral, Name
+
+
+def _fold_stmt(stmt: ast.Stmt) -> ast.Stmt:
+    if isinstance(stmt, ast.Block):
+        body: list[ast.Stmt] = []
+        for inner in stmt.body:
+            folded = _fold_stmt(inner)
+            if folded is not None:
+                body.append(folded)
+        stmt.body = body
+        return stmt
+    if isinstance(stmt, ast.VarDecl):
+        if stmt.init is not None:
+            stmt.init = _fold_expr(stmt.init)
+        if stmt.array_size is not None:
+            stmt.array_size = _fold_expr(stmt.array_size)
+        return stmt
+    if isinstance(stmt, ast.Assign):
+        stmt.target = _fold_expr(stmt.target)
+        stmt.value = _fold_expr(stmt.value)
+        return stmt
+    if isinstance(stmt, ast.If):
+        stmt.cond = _fold_expr(stmt.cond)
+        stmt.then_body = _fold_stmt(stmt.then_body)
+        if stmt.else_body is not None:
+            stmt.else_body = _fold_stmt(stmt.else_body)
+        if isinstance(stmt.cond, ast.IntLiteral):
+            if stmt.cond.value != 0:
+                return stmt.then_body
+            return stmt.else_body if stmt.else_body is not None else ast.Block(line=stmt.line)
+        return stmt
+    if isinstance(stmt, ast.While):
+        stmt.cond = _fold_expr(stmt.cond)
+        stmt.body = _fold_stmt(stmt.body)
+        if isinstance(stmt.cond, ast.IntLiteral) and stmt.cond.value == 0:
+            return ast.Block(line=stmt.line)
+        return stmt
+    if isinstance(stmt, ast.DoWhile):
+        # The body may contain break/continue bound to this loop, so a
+        # constant-false condition cannot simply unwrap the body.
+        stmt.body = _fold_stmt(stmt.body)
+        stmt.cond = _fold_expr(stmt.cond)
+        return stmt
+    if isinstance(stmt, ast.For):
+        if stmt.init is not None:
+            stmt.init = _fold_stmt(stmt.init)
+        if stmt.cond is not None:
+            stmt.cond = _fold_expr(stmt.cond)
+        if stmt.step is not None:
+            stmt.step = _fold_stmt(stmt.step)
+        stmt.body = _fold_stmt(stmt.body)
+        if (
+            isinstance(stmt.cond, ast.IntLiteral)
+            and stmt.cond.value == 0
+            and stmt.init is not None
+        ):
+            return stmt.init
+        if isinstance(stmt.cond, ast.IntLiteral) and stmt.cond.value == 0:
+            return ast.Block(line=stmt.line)
+        return stmt
+    if isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            stmt.value = _fold_expr(stmt.value)
+        return stmt
+    if isinstance(stmt, ast.ExprStmt):
+        stmt.expr = _fold_expr(stmt.expr)
+        return stmt
+    return stmt  # Break, Continue
+
+
+# ----------------------------------------------------------------------
+# Bytecode jump threading
+# ----------------------------------------------------------------------
+
+
+def thread_jumps(functions: list[Function]) -> int:
+    """Retarget jumps/branches whose destination is an unconditional JUMP.
+
+    Returns the number of instructions whose target changed.  Cycles of
+    JUMPs (possible only in pathological code) are left untouched.
+    """
+    changed = 0
+    for func in functions:
+        ops, args = func.ops, func.args
+        for pc, op in enumerate(ops):
+            if op == Opcode.JUMP:
+                target = _final_target(ops, args, args[pc])
+                if target != args[pc]:
+                    args[pc] = target
+                    changed += 1
+            elif op in (Opcode.BR_FALSE, Opcode.BR_TRUE):
+                target, site = args[pc]
+                final = _final_target(ops, args, target)
+                if final != target:
+                    args[pc] = (final, site)
+                    changed += 1
+    return changed
+
+
+def _final_target(ops: list[int], args: list, target: int) -> int:
+    seen = {target}
+    while target < len(ops) and ops[target] == Opcode.JUMP:
+        nxt = args[target]
+        if nxt in seen:
+            return target
+        seen.add(nxt)
+        target = nxt
+    return target

@@ -1,0 +1,341 @@
+"""Recursive-descent parser for Minic.
+
+Expression parsing uses precedence climbing with the (C-like) levels:
+
+====  =================
+prec  operators
+====  =================
+1     ``||``
+2     ``&&``
+3     ``|``
+4     ``^``
+5     ``&``
+6     ``== !=``
+7     ``< <= > >=``
+8     ``<< >>``
+9     ``+ -``
+10    ``* / %``
+====  =================
+
+Unary ``- ! ~`` bind tighter than every binary operator; calls and array
+indexing are postfix.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.tokens import COMPOUND_ASSIGN, Token, TokenKind
+
+_BINARY_PRECEDENCE: dict[TokenKind, tuple[int, str]] = {
+    TokenKind.OROR: (1, "||"),
+    TokenKind.ANDAND: (2, "&&"),
+    TokenKind.PIPE: (3, "|"),
+    TokenKind.CARET: (4, "^"),
+    TokenKind.AMP: (5, "&"),
+    TokenKind.EQ: (6, "=="),
+    TokenKind.NE: (6, "!="),
+    TokenKind.LT: (7, "<"),
+    TokenKind.LE: (7, "<="),
+    TokenKind.GT: (7, ">"),
+    TokenKind.GE: (7, ">="),
+    TokenKind.SHL: (8, "<<"),
+    TokenKind.SHR: (8, ">>"),
+    TokenKind.PLUS: (9, "+"),
+    TokenKind.MINUS: (9, "-"),
+    TokenKind.STAR: (10, "*"),
+    TokenKind.SLASH: (10, "/"),
+    TokenKind.PERCENT: (10, "%"),
+}
+
+_OP_TEXT = {
+    TokenKind.PLUS: "+",
+    TokenKind.MINUS: "-",
+    TokenKind.STAR: "*",
+    TokenKind.SLASH: "/",
+    TokenKind.PERCENT: "%",
+    TokenKind.AMP: "&",
+    TokenKind.PIPE: "|",
+    TokenKind.CARET: "^",
+    TokenKind.SHL: "<<",
+    TokenKind.SHR: ">>",
+}
+
+
+class Parser:
+    """Parses one token stream into an :class:`repro.lang.ast.Program`."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _check(self, kind: TokenKind) -> bool:
+        return self.current.kind is kind
+
+    def _accept(self, kind: TokenKind) -> Token | None:
+        if self._check(kind):
+            token = self.current
+            self.pos += 1
+            return token
+        return None
+
+    def _expect(self, kind: TokenKind, what: str) -> Token:
+        token = self._accept(kind)
+        if token is None:
+            got = self.current
+            raise ParseError(
+                f"expected {what}, found {got.text!r}" if got.text else f"expected {what}, found end of input",
+                got.line,
+                got.column,
+            )
+        return token
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program(line=1)
+        while not self._check(TokenKind.EOF):
+            if self._check(TokenKind.KW_GLOBAL):
+                program.globals.append(self._parse_global())
+            elif self._check(TokenKind.KW_FUNC):
+                program.functions.append(self._parse_function())
+            else:
+                got = self.current
+                raise ParseError(
+                    f"expected 'global' or 'func' at top level, found {got.text!r}",
+                    got.line,
+                    got.column,
+                )
+        return program
+
+    def _parse_global(self) -> ast.GlobalDecl:
+        kw = self._expect(TokenKind.KW_GLOBAL, "'global'")
+        name = self._expect(TokenKind.IDENT, "global variable name")
+        decl = ast.GlobalDecl(line=kw.line, name=name.text)
+        if self._accept(TokenKind.LBRACKET):
+            decl.array_size = self._parse_expr()
+            self._expect(TokenKind.RBRACKET, "']'")
+        elif self._accept(TokenKind.ASSIGN):
+            decl.init = self._parse_expr()
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return decl
+
+    def _parse_function(self) -> ast.FuncDecl:
+        kw = self._expect(TokenKind.KW_FUNC, "'func'")
+        name = self._expect(TokenKind.IDENT, "function name")
+        self._expect(TokenKind.LPAREN, "'('")
+        params: list[str] = []
+        if not self._check(TokenKind.RPAREN):
+            params.append(self._expect(TokenKind.IDENT, "parameter name").text)
+            while self._accept(TokenKind.COMMA):
+                params.append(self._expect(TokenKind.IDENT, "parameter name").text)
+        self._expect(TokenKind.RPAREN, "')'")
+        body = self._parse_block()
+        return ast.FuncDecl(line=kw.line, name=name.text, params=params, body=body)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        lbrace = self._expect(TokenKind.LBRACE, "'{'")
+        block = ast.Block(line=lbrace.line)
+        while not self._check(TokenKind.RBRACE):
+            if self._check(TokenKind.EOF):
+                raise ParseError("unterminated block", lbrace.line, lbrace.column)
+            block.body.append(self._parse_statement())
+        self._expect(TokenKind.RBRACE, "'}'")
+        return block
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self.current
+        kind = token.kind
+        if kind is TokenKind.LBRACE:
+            return self._parse_block()
+        if kind is TokenKind.KW_VAR:
+            return self._parse_var_decl()
+        if kind is TokenKind.KW_IF:
+            return self._parse_if()
+        if kind is TokenKind.KW_WHILE:
+            return self._parse_while()
+        if kind is TokenKind.KW_DO:
+            return self._parse_do_while()
+        if kind is TokenKind.KW_FOR:
+            return self._parse_for()
+        if kind is TokenKind.KW_RETURN:
+            self.pos += 1
+            value = None if self._check(TokenKind.SEMICOLON) else self._parse_expr()
+            self._expect(TokenKind.SEMICOLON, "';'")
+            return ast.Return(line=token.line, value=value)
+        if kind is TokenKind.KW_BREAK:
+            self.pos += 1
+            self._expect(TokenKind.SEMICOLON, "';'")
+            return ast.Break(line=token.line)
+        if kind is TokenKind.KW_CONTINUE:
+            self.pos += 1
+            self._expect(TokenKind.SEMICOLON, "';'")
+            return ast.Continue(line=token.line)
+        stmt = self._parse_simple_statement()
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return stmt
+
+    def _parse_var_decl(self) -> ast.VarDecl:
+        kw = self._expect(TokenKind.KW_VAR, "'var'")
+        name = self._expect(TokenKind.IDENT, "variable name")
+        decl = ast.VarDecl(line=kw.line, name=name.text)
+        if self._accept(TokenKind.LBRACKET):
+            decl.array_size = self._parse_expr()
+            self._expect(TokenKind.RBRACKET, "']'")
+        elif self._accept(TokenKind.ASSIGN):
+            decl.init = self._parse_expr()
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return decl
+
+    def _parse_if(self) -> ast.If:
+        kw = self._expect(TokenKind.KW_IF, "'if'")
+        self._expect(TokenKind.LPAREN, "'('")
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN, "')'")
+        then_body = self._parse_statement()
+        else_body = self._parse_statement() if self._accept(TokenKind.KW_ELSE) else None
+        return ast.If(line=kw.line, cond=cond, then_body=then_body, else_body=else_body)
+
+    def _parse_while(self) -> ast.While:
+        kw = self._expect(TokenKind.KW_WHILE, "'while'")
+        self._expect(TokenKind.LPAREN, "'('")
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN, "')'")
+        body = self._parse_statement()
+        return ast.While(line=kw.line, cond=cond, body=body)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        kw = self._expect(TokenKind.KW_DO, "'do'")
+        body = self._parse_statement()
+        self._expect(TokenKind.KW_WHILE, "'while'")
+        self._expect(TokenKind.LPAREN, "'('")
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN, "')'")
+        self._expect(TokenKind.SEMICOLON, "';'")
+        return ast.DoWhile(line=kw.line, body=body, cond=cond)
+
+    def _parse_for(self) -> ast.For:
+        kw = self._expect(TokenKind.KW_FOR, "'for'")
+        self._expect(TokenKind.LPAREN, "'('")
+        init: ast.Stmt | None = None
+        if not self._check(TokenKind.SEMICOLON):
+            if self._check(TokenKind.KW_VAR):
+                init = self._parse_var_decl()  # consumes its own ';'
+            else:
+                init = self._parse_simple_statement()
+                self._expect(TokenKind.SEMICOLON, "';'")
+        else:
+            self._expect(TokenKind.SEMICOLON, "';'")
+        cond = None if self._check(TokenKind.SEMICOLON) else self._parse_expr()
+        self._expect(TokenKind.SEMICOLON, "';'")
+        step = None if self._check(TokenKind.RPAREN) else self._parse_simple_statement()
+        self._expect(TokenKind.RPAREN, "')'")
+        body = self._parse_statement()
+        return ast.For(line=kw.line, init=init, cond=cond, step=step, body=body)
+
+    def _parse_simple_statement(self) -> ast.Stmt:
+        """An assignment or expression statement, *without* the trailing ';'."""
+        start = self.current
+        expr = self._parse_expr()
+        token = self.current
+        if token.kind is TokenKind.ASSIGN or token.kind in COMPOUND_ASSIGN:
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                raise ParseError("assignment target must be a variable or array element", token.line, token.column)
+            self.pos += 1
+            value = self._parse_expr()
+            op = "=" if token.kind is TokenKind.ASSIGN else _OP_TEXT[COMPOUND_ASSIGN[token.kind]]
+            return ast.Assign(line=start.line, target=expr, op=op, value=value)
+        return ast.ExprStmt(line=start.line, expr=expr)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_binary(min_prec=1)
+
+    def _parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            entry = _BINARY_PRECEDENCE.get(self.current.kind)
+            if entry is None or entry[0] < min_prec:
+                return left
+            prec, op = entry
+            token = self.current
+            self.pos += 1
+            right = self._parse_binary(prec + 1)
+            if op in ("&&", "||"):
+                left = ast.Logical(line=token.line, op=op, left=left, right=right)
+            else:
+                left = ast.Binary(line=token.line, op=op, left=left, right=right)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind is TokenKind.MINUS:
+            self.pos += 1
+            return ast.Unary(line=token.line, op="-", operand=self._parse_unary())
+        if token.kind is TokenKind.BANG:
+            self.pos += 1
+            return ast.Unary(line=token.line, op="!", operand=self._parse_unary())
+        if token.kind is TokenKind.TILDE:
+            self.pos += 1
+            return ast.Unary(line=token.line, op="~", operand=self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._check(TokenKind.LBRACKET):
+                lbracket = self.current
+                self.pos += 1
+                index = self._parse_expr()
+                self._expect(TokenKind.RBRACKET, "']'")
+                expr = ast.Index(line=lbracket.line, base=expr, index=index)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind is TokenKind.INT:
+            self.pos += 1
+            return ast.IntLiteral(line=token.line, value=token.value)
+        if token.kind is TokenKind.IDENT:
+            self.pos += 1
+            if self._accept(TokenKind.LPAREN):
+                args: list[ast.Expr] = []
+                if not self._check(TokenKind.RPAREN):
+                    args.append(self._parse_expr())
+                    while self._accept(TokenKind.COMMA):
+                        args.append(self._parse_expr())
+                self._expect(TokenKind.RPAREN, "')'")
+                return ast.Call(line=token.line, name=token.text, args=args)
+            return ast.Name(line=token.line, ident=token.text)
+        if token.kind is TokenKind.LPAREN:
+            self.pos += 1
+            expr = self._parse_expr()
+            self._expect(TokenKind.RPAREN, "')'")
+            return expr
+        raise ParseError(
+            f"expected an expression, found {token.text!r}" if token.text else "expected an expression, found end of input",
+            token.line,
+            token.column,
+        )
+
+
+def parse(tokens: list[Token]) -> ast.Program:
+    """Parse a token list into an AST program."""
+    return Parser(tokens).parse_program()

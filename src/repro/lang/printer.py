@@ -1,0 +1,122 @@
+"""AST pretty-printer: render a parsed Minic program back to source.
+
+Guarantees round-trip stability: ``parse(print(parse(src)))`` produces an
+AST structurally equal to ``parse(src)`` (verified by property tests).
+The printer fully parenthesizes sub-expressions, so it does not need to
+reason about precedence.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+
+_INDENT = "    "
+
+
+def print_program(program: ast.Program) -> str:
+    """Render a whole program as Minic source text."""
+    chunks: list[str] = []
+    for decl in program.globals:
+        chunks.append(_print_global(decl))
+    for func in program.functions:
+        if chunks:
+            chunks.append("")
+        chunks.append(_print_function(func))
+    return "\n".join(chunks) + "\n"
+
+
+def print_expr(expr: ast.Expr) -> str:
+    """Render one expression (fully parenthesized)."""
+    if isinstance(expr, ast.IntLiteral):
+        # Negative literals only arise from constant folding.
+        return str(expr.value) if expr.value >= 0 else f"(0 - {-expr.value})"
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    if isinstance(expr, ast.Index):
+        return f"{print_expr(expr.base)}[{print_expr(expr.index)}]"
+    if isinstance(expr, ast.Unary):
+        return f"({expr.op}{print_expr(expr.operand)})"
+    if isinstance(expr, (ast.Binary, ast.Logical)):
+        return f"({print_expr(expr.left)} {expr.op} {print_expr(expr.right)})"
+    if isinstance(expr, ast.Call):
+        args = ", ".join(print_expr(arg) for arg in expr.args)
+        return f"{expr.name}({args})"
+    raise TypeError(f"cannot print expression node {type(expr).__name__}")
+
+
+def _print_global(decl: ast.GlobalDecl) -> str:
+    if decl.array_size is not None:
+        return f"global {decl.name}[{print_expr(decl.array_size)}];"
+    if decl.init is not None:
+        return f"global {decl.name} = {print_expr(decl.init)};"
+    return f"global {decl.name};"
+
+
+def _print_function(func: ast.FuncDecl) -> str:
+    params = ", ".join(func.params)
+    body = _print_block(func.body, depth=0)
+    return f"func {func.name}({params}) {body}"
+
+
+def _print_block(block: ast.Block, depth: int) -> str:
+    inner = _INDENT * (depth + 1)
+    lines = ["{"]
+    for stmt in block.body:
+        for line in _print_stmt(stmt, depth + 1).splitlines():
+            lines.append(inner + line if line else line)
+    lines.append(_INDENT * depth + "}")
+    return "\n".join(lines)
+
+
+def _as_block_text(stmt: ast.Stmt, depth: int) -> str:
+    """Render a statement as a braced block (normalizes single statements)."""
+    if isinstance(stmt, ast.Block):
+        return _print_block(stmt, depth)
+    synthetic = ast.Block(line=stmt.line, body=[stmt])
+    return _print_block(synthetic, depth)
+
+
+def _print_stmt(stmt: ast.Stmt, depth: int) -> str:
+    if isinstance(stmt, ast.Block):
+        return _print_block(stmt, depth)
+    if isinstance(stmt, ast.VarDecl):
+        if stmt.array_size is not None:
+            return f"var {stmt.name}[{print_expr(stmt.array_size)}];"
+        if stmt.init is not None:
+            return f"var {stmt.name} = {print_expr(stmt.init)};"
+        return f"var {stmt.name};"
+    if isinstance(stmt, ast.Assign):
+        op = "=" if stmt.op == "=" else f"{stmt.op}="
+        return f"{print_expr(stmt.target)} {op} {print_expr(stmt.value)};"
+    if isinstance(stmt, ast.If):
+        text = f"if ({print_expr(stmt.cond)}) {_as_block_text(stmt.then_body, depth)}"
+        if stmt.else_body is not None:
+            text += f" else {_as_block_text(stmt.else_body, depth)}"
+        return text
+    if isinstance(stmt, ast.While):
+        return f"while ({print_expr(stmt.cond)}) {_as_block_text(stmt.body, depth)}"
+    if isinstance(stmt, ast.DoWhile):
+        return f"do {_as_block_text(stmt.body, depth)} while ({print_expr(stmt.cond)});"
+    if isinstance(stmt, ast.For):
+        init = _print_for_clause(stmt.init)
+        cond = print_expr(stmt.cond) if stmt.cond is not None else ""
+        step = _print_for_clause(stmt.step).rstrip(";")
+        return f"for ({init} {cond}; {step}) {_as_block_text(stmt.body, depth)}"
+    if isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            return f"return {print_expr(stmt.value)};"
+        return "return;"
+    if isinstance(stmt, ast.Break):
+        return "break;"
+    if isinstance(stmt, ast.Continue):
+        return "continue;"
+    if isinstance(stmt, ast.ExprStmt):
+        return f"{print_expr(stmt.expr)};"
+    raise TypeError(f"cannot print statement node {type(stmt).__name__}")
+
+
+def _print_for_clause(stmt: ast.Stmt | None) -> str:
+    if stmt is None:
+        return ";"
+    text = _print_stmt(stmt, depth=0)
+    return text if text.endswith(";") else text + ";"

@@ -1,0 +1,335 @@
+"""Semantic analysis for Minic.
+
+The checker validates a parsed program and *annotates* AST nodes with
+binding information that the code generator consumes:
+
+* ``Name.binding`` — ``("local", slot)`` or ``("global", index)``
+* ``VarDecl.slot`` — the local slot allocated to the declaration
+* ``Call.target`` — ``("func", name)`` or ``("builtin", name)``
+
+Minic is dynamically typed at the value level (a variable holds either an
+integer or an array reference), so the checker enforces *structural* rules
+only: names are declared before use, call arity matches, ``break`` /
+``continue`` appear inside loops, global initializers and global array
+sizes are compile-time constants, and a zero-parameter ``main`` function
+exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SemanticError
+from repro.lang import ast
+
+#: Builtin functions available to every Minic program, mapped to their arity.
+BUILTINS: dict[str, int] = {
+    "input": 1,       # input(i)        -> i-th element of the input array
+    "input_len": 0,   # input_len()     -> length of the input array
+    "arg": 1,         # arg(i)          -> i-th scalar argument
+    "arg_count": 0,   # arg_count()     -> number of scalar arguments
+    "output": 1,      # output(v)       -> append v to the output stream
+    "abs": 1,
+    "min": 2,
+    "max": 2,
+    "array": 1,       # array(n)        -> fresh zero-filled array of length n
+    "len": 1,         # len(a)          -> length of array a
+    "srand": 1,       # srand(seed)     -> seed the deterministic guest RNG
+    "rand": 0,        # rand()          -> next value of the guest RNG (31-bit)
+}
+
+
+@dataclass
+class FunctionInfo:
+    """Per-function results of semantic analysis."""
+
+    name: str
+    params: list[str]
+    local_count: int = 0  # Total slots including parameters.
+
+
+@dataclass
+class SemanticInfo:
+    """Program-wide results of semantic analysis."""
+
+    global_index: dict[str, int] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+class _FunctionScope:
+    """Tracks nested block scopes and allocates local slots."""
+
+    def __init__(self, info: FunctionInfo):
+        self.info = info
+        self.scopes: list[dict[str, int]] = [{}]
+
+    def push(self) -> None:
+        self.scopes.append({})
+
+    def pop(self) -> None:
+        self.scopes.pop()
+
+    def declare(self, name: str, line: int) -> int:
+        scope = self.scopes[-1]
+        if name in scope:
+            raise SemanticError(f"duplicate declaration of {name!r}", line)
+        slot = self.info.local_count
+        self.info.local_count += 1
+        scope[name] = slot
+        return slot
+
+    def lookup(self, name: str) -> int | None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+
+class Checker:
+    """Validates and annotates one :class:`repro.lang.ast.Program`."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.info = SemanticInfo()
+
+    def check(self) -> SemanticInfo:
+        self._collect_globals()
+        self._collect_functions()
+        if "main" not in self.info.functions:
+            raise SemanticError("program has no 'main' function")
+        if self.info.functions["main"].params:
+            raise SemanticError("'main' must take no parameters")
+        for func in self.program.functions:
+            self._check_function(func)
+        return self.info
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def _collect_globals(self) -> None:
+        for decl in self.program.globals:
+            if decl.name in self.info.global_index:
+                raise SemanticError(f"duplicate global {decl.name!r}", decl.line)
+            if decl.name in BUILTINS:
+                raise SemanticError(f"global {decl.name!r} shadows a builtin", decl.line)
+            if decl.init is not None:
+                self._require_const(decl.init, "global initializer")
+            if decl.array_size is not None:
+                size = self._require_const(decl.array_size, "global array size")
+                if size <= 0:
+                    raise SemanticError(f"global array {decl.name!r} must have positive size", decl.line)
+            self.info.global_index[decl.name] = len(self.info.global_index)
+
+    def _collect_functions(self) -> None:
+        for func in self.program.functions:
+            if func.name in self.info.functions:
+                raise SemanticError(f"duplicate function {func.name!r}", func.line)
+            if func.name in BUILTINS:
+                raise SemanticError(f"function {func.name!r} shadows a builtin", func.line)
+            seen: set[str] = set()
+            for param in func.params:
+                if param in seen:
+                    raise SemanticError(f"duplicate parameter {param!r} in {func.name!r}", func.line)
+                seen.add(param)
+            self.info.functions[func.name] = FunctionInfo(name=func.name, params=list(func.params))
+
+    def _require_const(self, expr: ast.Expr, what: str) -> int:
+        return const_eval(expr, what)
+
+    # ------------------------------------------------------------------
+    # Function bodies
+    # ------------------------------------------------------------------
+
+    def _check_function(self, func: ast.FuncDecl) -> None:
+        scope = _FunctionScope(self.info.functions[func.name])
+        for param in func.params:
+            scope.declare(param, func.line)
+        self._check_block(func.body, scope, loop_depth=0)
+
+    def _check_block(self, block: ast.Block, scope: _FunctionScope, loop_depth: int) -> None:
+        scope.push()
+        for stmt in block.body:
+            self._check_stmt(stmt, scope, loop_depth)
+        scope.pop()
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: _FunctionScope, loop_depth: int) -> None:
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope, loop_depth)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self._check_expr(stmt.init, scope)
+            if stmt.array_size is not None:
+                self._check_expr(stmt.array_size, scope)
+            stmt.slot = scope.declare(stmt.name, stmt.line)
+        elif isinstance(stmt, ast.Assign):
+            self._check_expr(stmt.value, scope)
+            self._check_expr(stmt.target, scope)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.cond, scope)
+            self._check_stmt_scoped(stmt.then_body, scope, loop_depth)
+            if stmt.else_body is not None:
+                self._check_stmt_scoped(stmt.else_body, scope, loop_depth)
+        elif isinstance(stmt, ast.While):
+            self._check_expr(stmt.cond, scope)
+            self._check_stmt_scoped(stmt.body, scope, loop_depth + 1)
+        elif isinstance(stmt, ast.DoWhile):
+            self._check_stmt_scoped(stmt.body, scope, loop_depth + 1)
+            self._check_expr(stmt.cond, scope)
+        elif isinstance(stmt, ast.For):
+            scope.push()
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, scope, loop_depth)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond, scope)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step, scope, loop_depth)
+            self._check_stmt_scoped(stmt.body, scope, loop_depth + 1)
+            scope.pop()
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._check_expr(stmt.value, scope)
+        elif isinstance(stmt, ast.Break):
+            if loop_depth == 0:
+                raise SemanticError("'break' outside of a loop", stmt.line)
+        elif isinstance(stmt, ast.Continue):
+            if loop_depth == 0:
+                raise SemanticError("'continue' outside of a loop", stmt.line)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise SemanticError(f"unknown statement node {type(stmt).__name__}", stmt.line)
+
+    def _check_stmt_scoped(self, stmt: ast.Stmt, scope: _FunctionScope, loop_depth: int) -> None:
+        """Check a loop/if body; a non-block body still gets its own scope."""
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope, loop_depth)
+        else:
+            scope.push()
+            self._check_stmt(stmt, scope, loop_depth)
+            scope.pop()
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _check_expr(self, expr: ast.Expr, scope: _FunctionScope) -> None:
+        if isinstance(expr, ast.IntLiteral):
+            return
+        if isinstance(expr, ast.Name):
+            slot = scope.lookup(expr.ident)
+            if slot is not None:
+                expr.binding = ("local", slot)
+            elif expr.ident in self.info.global_index:
+                expr.binding = ("global", self.info.global_index[expr.ident])
+            else:
+                raise SemanticError(f"use of undeclared name {expr.ident!r}", expr.line)
+            return
+        if isinstance(expr, ast.Index):
+            self._check_expr(expr.base, scope)
+            self._check_expr(expr.index, scope)
+            return
+        if isinstance(expr, ast.Unary):
+            self._check_expr(expr.operand, scope)
+            return
+        if isinstance(expr, (ast.Binary, ast.Logical)):
+            self._check_expr(expr.left, scope)
+            self._check_expr(expr.right, scope)
+            return
+        if isinstance(expr, ast.Call):
+            for arg in expr.args:
+                self._check_expr(arg, scope)
+            if expr.name in self.info.functions:
+                func = self.info.functions[expr.name]
+                if len(expr.args) != len(func.params):
+                    raise SemanticError(
+                        f"{expr.name!r} expects {len(func.params)} argument(s), got {len(expr.args)}",
+                        expr.line,
+                    )
+                expr.target = ("func", expr.name)
+            elif expr.name in BUILTINS:
+                arity = BUILTINS[expr.name]
+                if len(expr.args) != arity:
+                    raise SemanticError(
+                        f"builtin {expr.name!r} expects {arity} argument(s), got {len(expr.args)}",
+                        expr.line,
+                    )
+                expr.target = ("builtin", expr.name)
+            else:
+                raise SemanticError(f"call to undefined function {expr.name!r}", expr.line)
+            return
+        raise SemanticError(f"unknown expression node {type(expr).__name__}", expr.line)  # pragma: no cover
+
+
+def const_eval(expr: ast.Expr, what: str = "constant expression") -> int:
+    """Evaluate a compile-time constant expression or raise SemanticError."""
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.Unary):
+        operand = const_eval(expr.operand, what)
+        return fold_unary(expr.op, operand)
+    if isinstance(expr, ast.Binary):
+        left = const_eval(expr.left, what)
+        right = const_eval(expr.right, what)
+        try:
+            return fold_binary(expr.op, left, right)
+        except ZeroDivisionError:
+            raise SemanticError(f"{what} divides by zero", expr.line) from None
+    raise SemanticError(f"{what} must be a constant expression", expr.line)
+
+
+def fold_unary(op: str, operand: int) -> int:
+    """Evaluate a unary operator on a Python int."""
+    if op == "-":
+        return -operand
+    if op == "!":
+        return int(operand == 0)
+    if op == "~":
+        return ~operand
+    raise ValueError(f"unknown unary operator {op!r}")
+
+
+def fold_binary(op: str, left: int, right: int) -> int:
+    """Evaluate a binary operator on two Python ints with C-like semantics."""
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ZeroDivisionError
+        return int(left / right) if (left < 0) != (right < 0) else left // right
+    if op == "%":
+        if right == 0:
+            raise ZeroDivisionError
+        return left - right * (int(left / right) if (left < 0) != (right < 0) else left // right)
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "<<":
+        return left << (right & 63)
+    if op == ">>":
+        return left >> (right & 63)
+    if op == "==":
+        return int(left == right)
+    if op == "!=":
+        return int(left != right)
+    if op == "<":
+        return int(left < right)
+    if op == "<=":
+        return int(left <= right)
+    if op == ">":
+        return int(left > right)
+    if op == ">=":
+        return int(left >= right)
+    raise ValueError(f"unknown binary operator {op!r}")
+
+
+def check(program: ast.Program) -> SemanticInfo:
+    """Validate and annotate ``program``; return the analysis results."""
+    return Checker(program).check()

@@ -1,0 +1,115 @@
+"""Token kinds and the token container for the Minic lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenKind(Enum):
+    """Every lexical category recognised by the Minic lexer."""
+
+    # Literals and identifiers.
+    INT = auto()
+    IDENT = auto()
+
+    # Keywords.
+    KW_FUNC = auto()
+    KW_VAR = auto()
+    KW_GLOBAL = auto()
+    KW_IF = auto()
+    KW_ELSE = auto()
+    KW_WHILE = auto()
+    KW_DO = auto()
+    KW_FOR = auto()
+    KW_RETURN = auto()
+    KW_BREAK = auto()
+    KW_CONTINUE = auto()
+
+    # Punctuation.
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    COMMA = auto()
+    SEMICOLON = auto()
+
+    # Operators.
+    PLUS = auto()
+    MINUS = auto()
+    STAR = auto()
+    SLASH = auto()
+    PERCENT = auto()
+    AMP = auto()
+    PIPE = auto()
+    CARET = auto()
+    TILDE = auto()
+    BANG = auto()
+    SHL = auto()
+    SHR = auto()
+    LT = auto()
+    LE = auto()
+    GT = auto()
+    GE = auto()
+    EQ = auto()
+    NE = auto()
+    ANDAND = auto()
+    OROR = auto()
+    ASSIGN = auto()
+    PLUS_ASSIGN = auto()
+    MINUS_ASSIGN = auto()
+    STAR_ASSIGN = auto()
+    SLASH_ASSIGN = auto()
+    PERCENT_ASSIGN = auto()
+    AMP_ASSIGN = auto()
+    PIPE_ASSIGN = auto()
+    CARET_ASSIGN = auto()
+    SHL_ASSIGN = auto()
+    SHR_ASSIGN = auto()
+
+    EOF = auto()
+
+
+KEYWORDS = {
+    "func": TokenKind.KW_FUNC,
+    "var": TokenKind.KW_VAR,
+    "global": TokenKind.KW_GLOBAL,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "while": TokenKind.KW_WHILE,
+    "do": TokenKind.KW_DO,
+    "for": TokenKind.KW_FOR,
+    "return": TokenKind.KW_RETURN,
+    "break": TokenKind.KW_BREAK,
+    "continue": TokenKind.KW_CONTINUE,
+}
+
+# Compound assignment token -> the underlying binary operator token.
+COMPOUND_ASSIGN = {
+    TokenKind.PLUS_ASSIGN: TokenKind.PLUS,
+    TokenKind.MINUS_ASSIGN: TokenKind.MINUS,
+    TokenKind.STAR_ASSIGN: TokenKind.STAR,
+    TokenKind.SLASH_ASSIGN: TokenKind.SLASH,
+    TokenKind.PERCENT_ASSIGN: TokenKind.PERCENT,
+    TokenKind.AMP_ASSIGN: TokenKind.AMP,
+    TokenKind.PIPE_ASSIGN: TokenKind.PIPE,
+    TokenKind.CARET_ASSIGN: TokenKind.CARET,
+    TokenKind.SHL_ASSIGN: TokenKind.SHL,
+    TokenKind.SHR_ASSIGN: TokenKind.SHR,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its source position (1-based line/column)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+    value: int = 0  # Populated for INT tokens.
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"

@@ -1,0 +1,41 @@
+"""The predictor interface.
+
+A predictor sees the dynamic conditional-branch stream in program order.
+For each branch it produces a taken/not-taken prediction and then trains on
+the actual outcome — exactly the information a profiling tool has when it
+models the predictor in software.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class Predictor(ABC):
+    """Abstract base class for all branch predictors.
+
+    Subclasses implement :meth:`predict_and_update`; ``site_id`` plays the
+    role of the static branch address in a hardware predictor.
+    """
+
+    #: Short name used in reports; subclasses override.
+    name = "predictor"
+
+    @abstractmethod
+    def predict_and_update(self, site_id: int, taken: int) -> int:
+        """Predict branch ``site_id`` then train on ``taken``; return 0/1."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Restore the power-on state (all counters/history cleared)."""
+
+    def describe(self) -> str:
+        """Human-readable configuration string."""
+        return self.name
+
+
+def saturating_update(counter: int, taken: int, maximum: int = 3) -> int:
+    """Advance a saturating counter toward ``taken`` within [0, maximum]."""
+    if taken:
+        return counter + 1 if counter < maximum else counter
+    return counter - 1 if counter > 0 else counter

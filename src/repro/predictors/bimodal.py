@@ -1,0 +1,39 @@
+"""Bimodal predictor: a table of 2-bit saturating counters indexed by site.
+
+[Smith 1981].  The simplest dynamic predictor; used as a baseline and as
+the chooser-selected simple component of :class:`Tournament`.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import Predictor
+
+
+class Bimodal(Predictor):
+    """2-bit counter table indexed by the branch address (site id)."""
+
+    def __init__(self, table_bits: int = 12):
+        if table_bits < 1:
+            raise ValueError("table_bits must be >= 1")
+        self.table_bits = table_bits
+        self.size = 1 << table_bits
+        self.mask = self.size - 1
+        self.table = [2] * self.size  # Weakly taken.
+        self.name = f"bimodal-{table_bits}b"
+
+    def predict_and_update(self, site_id: int, taken: int) -> int:
+        index = site_id & self.mask
+        counter = self.table[index]
+        prediction = 1 if counter >= 2 else 0
+        if taken:
+            if counter < 3:
+                self.table[index] = counter + 1
+        elif counter > 0:
+            self.table[index] = counter - 1
+        return prediction
+
+    def reset(self) -> None:
+        self.table = [2] * self.size
+
+    def describe(self) -> str:
+        return f"bimodal, {self.size} 2-bit counters ({self.size // 4} bytes)"

@@ -1,0 +1,43 @@
+"""GAg two-level predictor [Yeh & Patt 1991].
+
+A single global history register indexes a global pattern table of 2-bit
+counters — gshare without the address hash.  Included as a baseline and to
+test sensitivity of 2D-profiling to aliasing-heavy profiler predictors.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import Predictor
+
+
+class GAg(Predictor):
+    """Global-history-indexed pattern table."""
+
+    def __init__(self, history_bits: int = 12):
+        if history_bits < 1:
+            raise ValueError("history_bits must be >= 1")
+        self.history_bits = history_bits
+        self.size = 1 << history_bits
+        self.mask = self.size - 1
+        self.table = [2] * self.size
+        self.history = 0
+        self.name = f"gag-{history_bits}b"
+
+    def predict_and_update(self, site_id: int, taken: int) -> int:
+        index = self.history & self.mask
+        counter = self.table[index]
+        prediction = 1 if counter >= 2 else 0
+        if taken:
+            if counter < 3:
+                self.table[index] = counter + 1
+        elif counter > 0:
+            self.table[index] = counter - 1
+        self.history = ((self.history << 1) | taken) & self.mask
+        return prediction
+
+    def reset(self) -> None:
+        self.table = [2] * self.size
+        self.history = 0
+
+    def describe(self) -> str:
+        return f"GAg, {self.history_bits}-bit global history, {self.size} 2-bit counters"

@@ -1,0 +1,48 @@
+"""Gshare predictor [McFarling 1993].
+
+The paper's baseline: a 4 KB predictor, i.e. a 2^14-entry table of 2-bit
+saturating counters indexed by (global history XOR branch address) over 14
+history bits.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import Predictor
+
+
+class Gshare(Predictor):
+    """Global-history XOR address indexed 2-bit counter table."""
+
+    def __init__(self, history_bits: int = 14, table_bits: int | None = None):
+        if history_bits < 1:
+            raise ValueError("history_bits must be >= 1")
+        self.history_bits = history_bits
+        self.table_bits = table_bits if table_bits is not None else history_bits
+        if self.table_bits < history_bits:
+            raise ValueError("table_bits must be >= history_bits")
+        self.size = 1 << self.table_bits
+        self.mask = self.size - 1
+        self.table = [2] * self.size  # Weakly taken.
+        self.history = 0
+        self.name = f"gshare-{self.table_bits}b"
+
+    def predict_and_update(self, site_id: int, taken: int) -> int:
+        index = (self.history ^ site_id) & self.mask
+        table = self.table
+        counter = table[index]
+        prediction = 1 if counter >= 2 else 0
+        if taken:
+            if counter < 3:
+                table[index] = counter + 1
+        elif counter > 0:
+            table[index] = counter - 1
+        self.history = ((self.history << 1) | taken) & self.mask
+        return prediction
+
+    def reset(self) -> None:
+        self.table = [2] * self.size
+        self.history = 0
+
+    def describe(self) -> str:
+        bytes_ = self.size // 4
+        return f"gshare, {self.history_bits}-bit history, {self.size} 2-bit counters ({bytes_} bytes)"

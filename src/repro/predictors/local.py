@@ -1,0 +1,52 @@
+"""Per-address (local) two-level predictor [Yeh & Patt 1991, PAg].
+
+Each static branch (hashed into a limited number of history registers)
+keeps its own recent-outcome history, which indexes a shared pattern table
+of 2-bit counters.  Good at per-branch periodic patterns that gshare's
+global history dilutes.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import Predictor
+
+
+class LocalTwoLevel(Predictor):
+    """Local-history two-level adaptive predictor."""
+
+    def __init__(self, history_bits: int = 10, num_histories: int = 1024):
+        if history_bits < 1:
+            raise ValueError("history_bits must be >= 1")
+        if num_histories < 1:
+            raise ValueError("num_histories must be >= 1")
+        self.history_bits = history_bits
+        self.num_histories = num_histories
+        self.pattern_size = 1 << history_bits
+        self.pattern_mask = self.pattern_size - 1
+        self.histories = [0] * num_histories
+        self.table = [2] * self.pattern_size
+        self.name = f"local-{history_bits}b"
+
+    def predict_and_update(self, site_id: int, taken: int) -> int:
+        history_index = site_id % self.num_histories
+        history = self.histories[history_index]
+        index = history & self.pattern_mask
+        counter = self.table[index]
+        prediction = 1 if counter >= 2 else 0
+        if taken:
+            if counter < 3:
+                self.table[index] = counter + 1
+        elif counter > 0:
+            self.table[index] = counter - 1
+        self.histories[history_index] = ((history << 1) | taken) & self.pattern_mask
+        return prediction
+
+    def reset(self) -> None:
+        self.histories = [0] * self.num_histories
+        self.table = [2] * self.pattern_size
+
+    def describe(self) -> str:
+        return (
+            f"local 2-level, {self.num_histories} history registers x "
+            f"{self.history_bits} bits, {self.pattern_size} 2-bit counters"
+        )

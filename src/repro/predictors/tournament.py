@@ -1,0 +1,52 @@
+"""Tournament (combining) predictor [McFarling 1993].
+
+A chooser table of 2-bit counters selects per-index between a global
+(gshare) and a simple (bimodal) component; both components always train.
+This approximates the Alpha 21264 style hybrid and gives the experiment
+suite a third target-predictor option beyond the paper's two.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import Predictor
+from repro.predictors.bimodal import Bimodal
+from repro.predictors.gshare import Gshare
+
+
+class Tournament(Predictor):
+    """Chooser-selected hybrid of gshare and bimodal."""
+
+    def __init__(self, history_bits: int = 12, chooser_bits: int = 12):
+        self.global_component = Gshare(history_bits=history_bits)
+        self.simple_component = Bimodal(table_bits=history_bits)
+        self.chooser_size = 1 << chooser_bits
+        self.chooser_mask = self.chooser_size - 1
+        # 0-1: prefer bimodal, 2-3: prefer gshare.
+        self.chooser = [2] * self.chooser_size
+        self.name = f"tournament-{history_bits}b"
+
+    def predict_and_update(self, site_id: int, taken: int) -> int:
+        index = site_id & self.chooser_mask
+        choice = self.chooser[index]
+        global_prediction = self.global_component.predict_and_update(site_id, taken)
+        simple_prediction = self.simple_component.predict_and_update(site_id, taken)
+        prediction = global_prediction if choice >= 2 else simple_prediction
+        # Train the chooser toward whichever component was right.
+        global_correct = global_prediction == taken
+        simple_correct = simple_prediction == taken
+        if global_correct and not simple_correct and choice < 3:
+            self.chooser[index] = choice + 1
+        elif simple_correct and not global_correct and choice > 0:
+            self.chooser[index] = choice - 1
+        return prediction
+
+    def reset(self) -> None:
+        self.global_component.reset()
+        self.simple_component.reset()
+        self.chooser = [2] * self.chooser_size
+
+    def describe(self) -> str:
+        return (
+            f"tournament: {self.global_component.describe()} vs "
+            f"{self.simple_component.describe()}, {self.chooser_size}-entry chooser"
+        )

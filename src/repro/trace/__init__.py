@@ -1,0 +1,12 @@
+"""Branch traces: capture, storage, and synthetic generation.
+
+A :class:`BranchTrace` is the exchange format between the VM and everything
+downstream (predictor simulation, 2D-profiling, ground-truth computation).
+It records, in program order, the static site id and taken/not-taken
+outcome of every conditional branch retirement of one run.
+"""
+
+from repro.trace.trace import BranchTrace
+from repro.trace.capture import capture_trace
+
+__all__ = ["BranchTrace", "capture_trace"]

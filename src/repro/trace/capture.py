@@ -1,0 +1,21 @@
+"""Trace capture: run a compiled program and collect its branch trace."""
+
+from __future__ import annotations
+
+from repro.bytecode.program import Program
+from repro.trace.trace import BranchTrace
+from repro.vm.inputs import InputSet
+from repro.vm.machine import DEFAULT_FUEL, Machine
+
+
+def capture_trace(program: Program, input_set: InputSet, fuel: int = DEFAULT_FUEL) -> BranchTrace:
+    """Execute ``program`` on ``input_set`` and return its branch trace."""
+    machine = Machine(program, fuel=fuel)
+    result = machine.run(input_set, mode="trace")
+    return BranchTrace.from_packed(
+        result.packed_trace,
+        program=program.name,
+        input_name=input_set.name,
+        num_sites=program.num_sites,
+        instructions=result.instructions,
+    )

@@ -1,0 +1,132 @@
+"""Trace manipulation utilities.
+
+Small, composable operations over :class:`BranchTrace` used by the
+analysis layer, tests, and downstream users: filtering to site subsets,
+per-site outcome streams, concatenation (multi-run traces), windowed
+summaries, and structural comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.trace import BranchTrace
+
+
+def filter_sites(trace: BranchTrace, sites) -> BranchTrace:
+    """A trace containing only the dynamic branches of the given sites."""
+    wanted = np.zeros(trace.num_sites, dtype=bool)
+    for site in sites:
+        if site < 0 or site >= trace.num_sites:
+            raise TraceError(f"site {site} out of range for this trace")
+        wanted[site] = True
+    mask = wanted[trace.sites]
+    return BranchTrace(
+        program=trace.program,
+        input_name=trace.input_name,
+        num_sites=trace.num_sites,
+        sites=trace.sites[mask],
+        outcomes=trace.outcomes[mask],
+    )
+
+
+def site_stream(trace: BranchTrace, site: int) -> np.ndarray:
+    """The outcome sequence of one static branch, in program order."""
+    if site < 0 or site >= trace.num_sites:
+        raise TraceError(f"site {site} out of range for this trace")
+    return trace.outcomes[trace.sites == site].copy()
+
+
+def concat(traces: list[BranchTrace]) -> BranchTrace:
+    """Concatenate runs back-to-back (e.g. profiling several inputs).
+
+    All traces must come from the same program (same ``num_sites``).
+    """
+    if not traces:
+        raise TraceError("cannot concatenate zero traces")
+    num_sites = traces[0].num_sites
+    for trace in traces:
+        if trace.num_sites != num_sites:
+            raise TraceError("traces disagree on num_sites; different programs?")
+    return BranchTrace(
+        program=traces[0].program,
+        input_name="+".join(t.input_name for t in traces),
+        num_sites=num_sites,
+        sites=np.concatenate([t.sites for t in traces]),
+        outcomes=np.concatenate([t.outcomes for t in traces]),
+        instructions=sum(t.instructions for t in traces),
+    )
+
+
+def subsample(trace: BranchTrace, step: int) -> BranchTrace:
+    """Every ``step``-th dynamic branch (cheap approximate profiling)."""
+    if step < 1:
+        raise TraceError("step must be >= 1")
+    return BranchTrace(
+        program=trace.program,
+        input_name=f"{trace.input_name}/{step}",
+        num_sites=trace.num_sites,
+        sites=trace.sites[::step],
+        outcomes=trace.outcomes[::step],
+    )
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate description of one trace."""
+
+    program: str
+    input_name: str
+    dynamic_branches: int
+    static_branches_executed: int
+    taken_rate: float
+    hottest_site: int
+    hottest_count: int
+
+
+def summarize(trace: BranchTrace) -> TraceSummary:
+    """One-struct overview of a trace."""
+    counts = trace.execution_counts()
+    executed = int(np.count_nonzero(counts))
+    hottest = int(counts.argmax()) if counts.size else 0
+    return TraceSummary(
+        program=trace.program,
+        input_name=trace.input_name,
+        dynamic_branches=len(trace),
+        static_branches_executed=executed,
+        taken_rate=float(trace.outcomes.mean()) if len(trace) else 0.0,
+        hottest_site=hottest,
+        hottest_count=int(counts[hottest]) if counts.size else 0,
+    )
+
+
+def traces_equal(a: BranchTrace, b: BranchTrace) -> bool:
+    """Structural equality of the dynamic branch streams."""
+    return (
+        a.num_sites == b.num_sites
+        and a.sites.shape == b.sites.shape
+        and bool(np.array_equal(a.sites, b.sites))
+        and bool(np.array_equal(a.outcomes, b.outcomes))
+    )
+
+
+def bias_divergence(a: BranchTrace, b: BranchTrace, min_executions: int = 30) -> dict[int, float]:
+    """Per-site absolute taken-rate difference between two runs.
+
+    The edge-profiling analogue of the accuracy-delta ground truth: which
+    branches' *bias* shifted between inputs?
+    """
+    if a.num_sites != b.num_sites:
+        raise TraceError("traces disagree on num_sites; different programs?")
+    counts_a, counts_b = a.execution_counts(), b.execution_counts()
+    taken_a, taken_b = a.taken_counts(), b.taken_counts()
+    result: dict[int, float] = {}
+    for site in range(a.num_sites):
+        if counts_a[site] >= min_executions and counts_b[site] >= min_executions:
+            bias_a = taken_a[site] / counts_a[site]
+            bias_b = taken_b[site] / counts_b[site]
+            result[site] = abs(float(bias_a - bias_b))
+    return result

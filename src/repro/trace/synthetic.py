@@ -1,0 +1,143 @@
+"""Synthetic branch-trace generators.
+
+These produce traces with *known* statistical structure, used by tests to
+validate predictors and the 2D-profiling tests against ground truth, and by
+the ablation benches to study the algorithm in isolation from workloads.
+
+All generators are deterministic given their ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.trace import BranchTrace
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """Statistical model for one synthetic branch site.
+
+    ``phases`` is a sequence of (fraction_of_run, taken_probability)
+    pairs; fractions must sum to 1.  A single phase models a stationary
+    (input-independent-looking) branch, several phases with different
+    probabilities model the time-varying behaviour the paper's Figure 8
+    shows for input-dependent branches.
+    """
+
+    phases: tuple[tuple[float, float], ...]
+
+    @staticmethod
+    def stationary(p_taken: float) -> "SiteSpec":
+        return SiteSpec(phases=((1.0, p_taken),))
+
+    @staticmethod
+    def two_phase(p_first: float, p_second: float, split: float = 0.5) -> "SiteSpec":
+        return SiteSpec(phases=((split, p_first), (1.0 - split, p_second)))
+
+
+def bernoulli_site(n: int, spec: SiteSpec, seed: int) -> np.ndarray:
+    """Outcome array for one site following ``spec`` over ``n`` executions."""
+    rng = np.random.default_rng(seed)
+    chunks = []
+    remaining = n
+    for i, (fraction, p_taken) in enumerate(spec.phases):
+        count = round(n * fraction) if i < len(spec.phases) - 1 else remaining
+        count = min(count, remaining)
+        chunks.append((rng.random(count) < p_taken).astype(np.uint8))
+        remaining -= count
+    if remaining > 0:
+        chunks.append((rng.random(remaining) < spec.phases[-1][1]).astype(np.uint8))
+    return np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.uint8)
+
+
+def loop_site(iteration_counts: list[int]) -> np.ndarray:
+    """Outcomes of a loop back-edge branch: taken while looping, then exit.
+
+    Each entry of ``iteration_counts`` is one loop instance executing that
+    many iterations: ``k-1`` taken outcomes followed by one not-taken.
+    """
+    chunks = []
+    for count in iteration_counts:
+        if count <= 0:
+            continue
+        outcomes = np.ones(count, dtype=np.uint8)
+        outcomes[-1] = 0
+        chunks.append(outcomes)
+    return np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.uint8)
+
+
+def pattern_site(pattern: str, repetitions: int) -> np.ndarray:
+    """Outcomes repeating a 'T'/'N' pattern — perfectly history-predictable."""
+    base = np.array([1 if ch == "T" else 0 for ch in pattern], dtype=np.uint8)
+    return np.tile(base, repetitions)
+
+
+def interleave_sites(outcome_streams: dict[int, np.ndarray], seed: int = 0) -> BranchTrace:
+    """Merge per-site outcome streams into one trace.
+
+    Dynamic branches from different sites are interleaved in a random but
+    deterministic global order while each site's own outcomes keep their
+    relative order (as they would in a real execution).
+    """
+    rng = np.random.default_rng(seed)
+    site_ids = []
+    for site, outcomes in outcome_streams.items():
+        site_ids.append(np.full(len(outcomes), site, dtype=np.int32))
+    all_sites = np.concatenate(site_ids) if site_ids else np.zeros(0, dtype=np.int32)
+    order = rng.permutation(all_sites.size)
+    shuffled_sites = all_sites[order]
+
+    # Refill outcomes so each site sees its own stream in order.
+    outcomes = np.zeros(all_sites.size, dtype=np.uint8)
+    for site, stream in outcome_streams.items():
+        positions = np.nonzero(shuffled_sites == site)[0]
+        outcomes[positions] = stream
+    num_sites = (int(max(outcome_streams)) + 1) if outcome_streams else 0
+    return BranchTrace(
+        program="<synthetic>",
+        input_name=f"seed{seed}",
+        num_sites=num_sites,
+        sites=shuffled_sites,
+        outcomes=outcomes,
+    )
+
+
+def phased_trace(
+    num_stationary: int,
+    num_phased: int,
+    executions_per_site: int,
+    seed: int = 7,
+) -> tuple[BranchTrace, set[int], set[int]]:
+    """A ready-made mixed trace for profiler tests.
+
+    Returns ``(trace, stationary_site_ids, phased_site_ids)``.  Stationary
+    sites draw a fixed taken probability; phased sites switch probability
+    mid-run (the signature 2D-profiling detects).
+    """
+    rng = np.random.default_rng(seed)
+    streams: dict[int, np.ndarray] = {}
+    stationary_ids: set[int] = set()
+    phased_ids: set[int] = set()
+    site = 0
+    for _ in range(num_stationary):
+        p_taken = float(rng.uniform(0.55, 0.95))
+        streams[site] = bernoulli_site(executions_per_site, SiteSpec.stationary(p_taken), seed + site)
+        stationary_ids.add(site)
+        site += 1
+    # Phase probabilities are chosen so the *predictability* (distance of
+    # p from 0.5) changes between phases, not just the direction: a counter
+    # predictor's accuracy is ~max(p, 1-p), so a 0.25 -> 0.75 flip would be
+    # invisible in the accuracy dimension.
+    for _ in range(num_phased):
+        p_first = float(rng.uniform(0.52, 0.62))
+        p_second = float(rng.uniform(0.85, 0.98))
+        streams[site] = bernoulli_site(
+            executions_per_site, SiteSpec.two_phase(p_first, p_second), seed + site
+        )
+        phased_ids.add(site)
+        site += 1
+    trace = interleave_sites(streams, seed=seed)
+    return trace, stationary_ids, phased_ids

@@ -1,0 +1,19 @@
+"""Bytecode virtual machine with Pin-style branch instrumentation.
+
+:class:`repro.vm.machine.Machine` interprets compiled Minic programs.
+Every *conditional branch retirement* can be observed by a user tool, the
+same observation model the paper gets from instrumenting x86 binaries with
+Pin.  Three observation modes exist, mirroring the paper's Figure 16
+overhead conditions:
+
+* ``mode="none"`` — run uninstrumented ("Binary");
+* ``mode="trace"`` — record a packed (site, outcome) trace for offline
+  replay (how all accuracy experiments are driven);
+* ``mode="callback"`` — invoke a tool callback per branch ("Pin-base" with
+  a null tool, "Edge", "Gshare", "2D+Gshare" with real tools).
+"""
+
+from repro.vm.inputs import InputSet
+from repro.vm.machine import Machine, RunResult
+
+__all__ = ["InputSet", "Machine", "RunResult"]

@@ -1,0 +1,31 @@
+"""Input sets for Minic programs.
+
+An :class:`InputSet` is the analogue of a SPEC input: a named bundle of an
+integer data array (read by the ``input(i)`` builtin) and scalar arguments
+(read by ``arg(i)``, e.g. a compression level).  Workload modules construct
+these deterministically from seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class InputSet:
+    """A named program input: data array plus scalar arguments."""
+
+    name: str
+    data: tuple[int, ...] = field(default_factory=tuple)
+    args: tuple[int, ...] = field(default_factory=tuple)
+
+    @staticmethod
+    def make(name: str, data=(), args=()) -> "InputSet":
+        """Build an input set, coercing any iterables of ints to tuples."""
+        return InputSet(name=name, data=tuple(int(v) for v in data), args=tuple(int(v) for v in args))
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def describe(self) -> str:
+        return f"{self.name}: {len(self.data)} data words, args={list(self.args)}"

@@ -1,0 +1,27 @@
+"""The workload suite: 12 Minic programs standing in for SPEC CPU2000 INT.
+
+Each workload mirrors the branch-relevant control structure of the SPEC
+benchmark the paper profiles under (almost) the same name, and ships a
+``train`` and ``ref`` input plus — for the six benchmarks the paper studies
+with extra input sets — ``ext-1`` .. ``ext-k`` inputs whose generators vary
+exactly the input properties the paper identifies as driving
+input-dependent branch behaviour.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.suite import (
+    WORKLOADS,
+    all_workloads,
+    deep_workloads,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "all_workloads",
+    "deep_workloads",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,69 @@
+"""Workload container: a Minic program plus named input-set generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.bytecode.program import Program
+from repro.lang.compiler import compile_source
+from repro.vm.inputs import InputSet
+
+#: An input generator: scale multiplier -> InputSet.
+InputFactory = Callable[[float], InputSet]
+
+
+@dataclass
+class Workload:
+    """A benchmark program with its input sets.
+
+    ``inputs`` maps input names (``"train"``, ``"ref"``, ``"ext-1"`` ...)
+    to deterministic generators parameterised by a size ``scale``; the
+    spirit of SPEC's train/ref/MinneSPEC structure.  ``deep`` marks the six
+    workloads with extended input sets (paper Section 5.2).
+    """
+
+    name: str
+    description: str
+    source: str
+    inputs: dict[str, InputFactory]
+    deep: bool = False
+    _program: Program | None = field(default=None, repr=False, compare=False)
+
+    def program(self) -> Program:
+        """The compiled program (compiled once, cached)."""
+        if self._program is None:
+            self._program = compile_source(self.source, name=self.name)
+        return self._program
+
+    @property
+    def input_names(self) -> list[str]:
+        """Input names, train first, then ref, then ext-k in order."""
+        def key(name: str):
+            if name == "train":
+                return (0, 0)
+            if name == "ref":
+                return (1, 0)
+            return (2, int(name.split("-")[1]) if "-" in name else 0)
+
+        return sorted(self.inputs, key=key)
+
+    @property
+    def ext_names(self) -> list[str]:
+        return [name for name in self.input_names if name.startswith("ext-")]
+
+    def make_input(self, name: str, scale: float = 1.0) -> InputSet:
+        """Generate one input set deterministically."""
+        try:
+            factory = self.inputs[name]
+        except KeyError:
+            raise ExperimentError(
+                f"workload {self.name!r} has no input {name!r}; available: {self.input_names}"
+            ) from None
+        input_set = factory(scale)
+        if input_set.name != name:
+            raise ExperimentError(
+                f"input factory for {self.name}/{name} returned a set named {input_set.name!r}"
+            )
+        return input_set

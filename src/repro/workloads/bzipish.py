@@ -1,0 +1,177 @@
+"""bzipish — block-sorting-style compressor front end (SPEC bzip2 stand-in).
+
+Implements the branch-heavy stages of bzip2's pipeline on byte blocks:
+run-length encoding, move-to-front transform, and an adaptive
+frequency-model coder.  Symbol locality and run structure of the input data
+drive the MTF search-depth and RLE branches — bzip2 tops the paper's
+input-dependent list because these properties differ sharply between data
+kinds (text vs. already-compressed vs. graphic).
+"""
+
+from __future__ import annotations
+
+from repro.vm.inputs import InputSet
+from repro.workloads.base import Workload
+from repro.workloads.inputs import (
+    graphic_like,
+    program_like,
+    random_bytes,
+    repetitive,
+    scaled,
+    text_like,
+    video_like,
+)
+
+SOURCE = r"""
+// RLE + move-to-front + adaptive frequency coding over fixed-size blocks.
+// arg(0) = block size; input = byte stream.
+
+global mtf[256];
+global freq[256];
+global rle_buf[70000];
+
+func mtf_init() {
+    var i;
+    for (i = 0; i < 256; i += 1) { mtf[i] = i; }
+}
+
+// Move-to-front: returns the position of `sym`, then moves it to front.
+// The search-depth loop branch is strongly data-dependent: local data
+// (text) finds symbols near the front; random data searches deep.
+func mtf_encode(sym) {
+    var j = 0;
+    while (mtf[j] != sym) {
+        j += 1;
+    }
+    var k = j;
+    while (k > 0) {
+        mtf[k] = mtf[k - 1];
+        k -= 1;
+    }
+    mtf[0] = sym;
+    return j;
+}
+
+// bzip2-style RLE1: runs of 4-255 identical bytes become 4 bytes + count.
+func rle_pass(start, stop) {
+    var out = 0;
+    var pos = start;
+    while (pos < stop) {
+        var b = input(pos);
+        var run = 1;
+        while (pos + run < stop && run < 255 && input(pos + run) == b) {
+            run += 1;
+        }
+        if (run >= 4) {
+            rle_buf[out] = b; rle_buf[out + 1] = b;
+            rle_buf[out + 2] = b; rle_buf[out + 3] = b;
+            rle_buf[out + 4] = run - 4;
+            out += 5;
+        } else {
+            var r;
+            for (r = 0; r < run; r += 1) {
+                rle_buf[out] = b;
+                out += 1;
+            }
+        }
+        pos += run;
+    }
+    return out;
+}
+
+// Adaptive frequency model: cost of a symbol ~ how rare it currently is.
+func model_cost(sym) {
+    var f = freq[sym];
+    freq[sym] = f + 16;
+    // Periodic rescale keeps frequencies bounded.
+    if (freq[sym] > 60000) {
+        var i;
+        for (i = 0; i < 256; i += 1) {
+            freq[i] = (freq[i] >> 1) | 1;
+        }
+    }
+    var cost = 1;
+    var budget = 65536;
+    while (budget > f && cost < 16) {     // rarer symbol -> more "bits"
+        budget = budget >> 1;
+        cost += 1;
+    }
+    return cost;
+}
+
+func main() {
+    mtf_init();
+    var i;
+    for (i = 0; i < 256; i += 1) { freq[i] = 1; }
+
+    var block = arg(0);
+    if (block < 256) { block = 256; }
+    var n = input_len();
+    var total_bits = 0;
+    var zero_runs = 0;
+    var deep_searches = 0;
+
+    var start = 0;
+    while (start < n) {
+        var stop = start + block;
+        if (stop > n) { stop = n; }
+        var rle_len = rle_pass(start, stop);
+
+        // MTF + model over the RLE output.
+        var j;
+        var zrun = 0;
+        for (j = 0; j < rle_len; j += 1) {
+            var rank = mtf_encode(rle_buf[j]);
+            if (rank == 0) {
+                zrun += 1;            // bzip2's RUNA/RUNB zero-run coding
+            } else {
+                if (zrun > 0) {
+                    zero_runs += 1;
+                    total_bits += model_cost(0);
+                    zrun = 0;
+                }
+                if (rank > 64) {
+                    deep_searches += 1;
+                }
+                total_bits += model_cost(rank & 255);
+            }
+        }
+        if (zrun > 0) {
+            zero_runs += 1;
+            total_bits += model_cost(0);
+        }
+        start = stop;
+    }
+
+    output(total_bits);
+    output(zero_runs);
+    output(deep_searches);
+    return total_bits;
+}
+"""
+
+_BASE = 8_000
+
+
+def _make(name: str, generator, seed: int, block: int, size: int = _BASE):
+    def factory(scale: float) -> InputSet:
+        return InputSet.make(name, data=generator(scaled(size, scale, minimum=512), seed), args=[block])
+
+    return factory
+
+
+WORKLOAD = Workload(
+    name="bzipish",
+    description="RLE + move-to-front + adaptive model compressor; symbol "
+    "locality drives the MTF search branches",
+    source=SOURCE,
+    deep=True,
+    inputs={
+        "train": _make("train", video_like, seed=13, block=2048, size=4_500),     # input.compressed
+        "ref": _make("ref", program_like, seed=29, block=4096),       # input.source
+        "ext-1": _make("ext-1", graphic_like, seed=37, block=4096),   # input.graphic
+        "ext-2": _make("ext-2", program_like, seed=41, block=2048),   # spec gcc output
+        "ext-3": _make("ext-3", text_like, seed=53, block=8192),      # 11MB text file
+        "ext-4": _make("ext-4", random_bytes, seed=67, block=4096, size=4_500),   # 3.8MB video file
+    },
+)

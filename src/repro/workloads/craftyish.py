@@ -1,0 +1,173 @@
+"""craftyish — alpha-beta game-tree search (SPEC crafty stand-in).
+
+Searches a two-player capture game on a 6x6 board with negamax +
+alpha-beta pruning and a small evaluation function.  Cutoff branches,
+legal-move checks, and evaluation comparisons all depend on the initial
+board layout — the paper built crafty's extra input sets exactly this way
+("constructed by modifying the initial layout of the chess board").
+"""
+
+from __future__ import annotations
+
+from repro.vm.inputs import InputSet
+from repro.workloads.base import Workload
+from repro.workloads.inputs import board_layout, rng
+
+SOURCE = r"""
+// Negamax with alpha-beta on a 6x6 capture game.
+// Board cells: 0 empty, 1 player A piece, 2 player B piece.
+// A move slides a piece one step in one of 4 directions; moving onto an
+// opposing piece captures it.  Score = material + mobility.
+// input = 36 board cells; arg(0) = search depth, arg(1) = searches to run.
+
+global board[36];
+global nodes = 0;
+global cutoffs = 0;
+
+func eval_board(side) {
+    var score = 0;
+    var i;
+    for (i = 0; i < 36; i += 1) {
+        var v = board[i];
+        if (v == side) {
+            score += 10;
+            // Central squares are worth more (positional term).
+            var x = i % 6;
+            var y = i / 6;
+            if (x > 0 && x < 5 && y > 0 && y < 5) {
+                score += 2;
+            }
+        } else if (v != 0) {
+            score -= 10;
+        }
+    }
+    return score;
+}
+
+func opponent(side) {
+    if (side == 1) { return 2; }
+    return 1;
+}
+
+// dir: 0 = +x, 1 = -x, 2 = +y, 3 = -y.  Returns target cell or -1.
+func move_target(from, dir) {
+    var x = from % 6;
+    var y = from / 6;
+    if (dir == 0) {
+        if (x == 5) { return -1; }
+        return from + 1;
+    }
+    if (dir == 1) {
+        if (x == 0) { return -1; }
+        return from - 1;
+    }
+    if (dir == 2) {
+        if (y == 5) { return -1; }
+        return from + 6;
+    }
+    if (y == 0) { return -1; }
+    return from - 6;
+}
+
+func negamax(side, depth, alpha, beta) {
+    nodes += 1;
+    if (depth == 0) {
+        return eval_board(side);
+    }
+    var best = -100000;
+    var moved = 0;
+    var from;
+    for (from = 0; from < 36; from += 1) {
+        if (board[from] != side) { continue; }
+        var dir;
+        for (dir = 0; dir < 4; dir += 1) {
+            var to = move_target(from, dir);
+            if (to < 0) { continue; }
+            var captured = board[to];
+            if (captured == side) { continue; }      // blocked by own piece
+            // Make the move.
+            board[to] = side;
+            board[from] = 0;
+            moved = 1;
+            var score = 0 - negamax(opponent(side), depth - 1, 0 - beta, 0 - alpha);
+            if (captured != 0) { score += 8; }       // prefer captures
+            // Unmake.
+            board[from] = side;
+            board[to] = captured;
+            if (score > best) { best = score; }
+            if (best > alpha) { alpha = best; }
+            if (alpha >= beta) {                     // beta cutoff
+                cutoffs += 1;
+                return best;
+            }
+        }
+    }
+    if (moved == 0) {
+        return eval_board(side);                     // no legal moves
+    }
+    return best;
+}
+
+func main() {
+    var depth = arg(0);
+    var searches = arg(1);
+    var i;
+    for (i = 0; i < 36; i += 1) { board[i] = input(i); }
+
+    var total = 0;
+    var s;
+    srand(4242);
+    for (s = 0; s < searches; s += 1) {
+        total += negamax(1, depth, -100000, 100000);
+        // Perturb the position a little between searches (self-play-ish):
+        // move one random A piece toward the centre if possible.
+        var tries = 0;
+        while (tries < 16) {
+            var cell = rand() % 36;
+            if (board[cell] == 1) {
+                var target = move_target(cell, rand() % 4);
+                if (target >= 0 && board[target] == 0) {
+                    board[target] = 1;
+                    board[cell] = 0;
+                    break;
+                }
+            }
+            tries += 1;
+        }
+    }
+
+    output(total);
+    output(nodes);
+    output(cutoffs);
+    return nodes;
+}
+"""
+
+
+def _make(name: str, seed: int, pieces: int, depth: int, searches: int):
+    def factory(scale: float) -> InputSet:
+        # Depth stays fixed (search cost is exponential in it); the number
+        # of root searches scales.
+        count = max(2, int(searches * scale))
+        return InputSet.make(name, data=board_layout(36, pieces, seed), args=[depth, count])
+
+    return factory
+
+
+WORKLOAD = Workload(
+    name="craftyish",
+    description="alpha-beta capture-game search; board layouts change "
+    "cutoff and legality branch behaviour",
+    source=SOURCE,
+    deep=True,
+    inputs={
+        "train": _make("train", seed=5, pieces=10, depth=3, searches=10),
+        "ref": _make("ref", seed=17, pieces=16, depth=3, searches=10),
+        "ext-1": _make("ext-1", seed=29, pieces=6, depth=3, searches=12),
+        "ext-2": _make("ext-2", seed=41, pieces=22, depth=3, searches=8),
+        "ext-3": _make("ext-3", seed=59, pieces=12, depth=3, searches=10),
+        "ext-4": _make("ext-4", seed=71, pieces=18, depth=3, searches=9),
+        "ext-5": _make("ext-5", seed=83, pieces=4, depth=3, searches=14),
+        "ext-6": _make("ext-6", seed=97, pieces=14, depth=3, searches=10),
+    },
+)

@@ -1,0 +1,131 @@
+"""eonish — fixed-point ray marcher through a voxel grid (SPEC eon).
+
+Casts rays through a 3D occupancy grid with integer DDA stepping and a
+couple of bounce levels.  The control flow is dominated by regular
+numeric loops whose behaviour barely changes across scenes — matching eon,
+the benchmark with the fewest input-dependent branches in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.vm.inputs import InputSet
+from repro.workloads.base import Workload
+from repro.workloads.inputs import rng
+
+SOURCE = r"""
+// Integer DDA ray marching in a 16x16x16 voxel grid, fixed-point 8.8.
+// input = occupied voxel indices; arg(0) = image size, arg(1) = bounces.
+
+global voxel[4096];
+global GRID = 16;
+
+func vox(x, y, z) {
+    return (x * GRID + y) * GRID + z;
+}
+
+// March a ray from (x,y,z) with direction (dx,dy,dz) in 8.8 fixed point.
+// Returns the voxel index hit, or -1 after max steps.
+func march(x, y, z, dx, dy, dz) {
+    var steps = 0;
+    while (steps < 48) {
+        x += dx;
+        y += dy;
+        z += dz;
+        var gx = x >> 8;
+        var gy = y >> 8;
+        var gz = z >> 8;
+        if (gx < 0 || gx >= GRID || gy < 0 || gy >= GRID || gz < 0 || gz >= GRID) {
+            return -1;                         // left the grid
+        }
+        if (voxel[vox(gx, gy, gz)] != 0) {
+            return vox(gx, gy, gz);
+        }
+        steps += 1;
+    }
+    return -1;
+}
+
+func main() {
+    var image = arg(0);
+    var bounces = arg(1);
+    var i;
+    for (i = 0; i < 4096; i += 1) { voxel[i] = 0; }
+    for (i = 0; i < input_len(); i += 1) {
+        var v = input(i);
+        if (v >= 0 && v < 4096) { voxel[v] = 1 + (v & 3); }
+    }
+
+    var hits = 0;
+    var lost = 0;
+    var shade = 0;
+    var px;
+    for (px = 0; px < image; px += 1) {
+        var py;
+        for (py = 0; py < image; py += 1) {
+            // Primary ray from the z=0 face.
+            var x = (px * 4096 / image) & 4095;
+            var y = (py * 4096 / image) & 4095;
+            var z = 0;
+            var dx = ((px * 7) % 96) - 48;
+            var dy = ((py * 5) % 96) - 48;
+            var dz = 192;
+            var b;
+            var alive = 1;
+            for (b = 0; b <= bounces && alive; b += 1) {
+                var hit = march(x, y, z, dx, dy, dz);
+                if (hit < 0) {
+                    lost += 1;
+                    alive = 0;
+                } else {
+                    hits += 1;
+                    shade += voxel[hit];
+                    // "Bounce": flip the dominant direction component.
+                    if (abs(dz) >= abs(dx) && abs(dz) >= abs(dy)) {
+                        dz = 0 - dz;
+                    } else if (abs(dx) >= abs(dy)) {
+                        dx = 0 - dx;
+                    } else {
+                        dy = 0 - dy;
+                    }
+                    x += dx;
+                    y += dy;
+                    z += dz;
+                }
+            }
+        }
+    }
+
+    output(hits);
+    output(lost);
+    output(shade);
+    return hits;
+}
+"""
+
+
+def _scene(seed: int, density: float) -> list[int]:
+    generator = rng(seed)
+    total = 16 * 16 * 16
+    count = int(total * density)
+    return [int(v) for v in generator.choice(total, size=count, replace=False)]
+
+
+def _make(name: str, seed: int, density: float, image: int, bounces: int):
+    def factory(scale: float) -> InputSet:
+        size = max(8, int(image * (scale ** 0.5)))
+        return InputSet.make(name, data=_scene(seed, density), args=[size, bounces])
+
+    return factory
+
+
+WORKLOAD = Workload(
+    name="eonish",
+    description="integer DDA voxel ray marcher; regular numeric loops, "
+    "scene changes barely move branch behaviour (like eon)",
+    source=SOURCE,
+    deep=False,
+    inputs={
+        "train": _make("train", seed=51, density=0.10, image=64, bounces=2),
+        "ref": _make("ref", seed=62, density=0.12, image=72, bounces=2),
+    },
+)

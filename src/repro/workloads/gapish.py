@@ -1,0 +1,187 @@
+"""gapish — computer-algebra arithmetic with type dispatch (SPEC gap).
+
+Contains the paper's Figure 6 idiom: values carry a small-int/bignum type
+tag and the arithmetic kernel branches on ``(hdl & hdr & T_INT)``-style
+checks.  The fraction of values above 2**30 (stored as multi-limb bignums)
+is the input property the paper says separates gap's train and ref inputs.
+"""
+
+from __future__ import annotations
+
+from repro.vm.inputs import InputSet
+from repro.workloads.base import Workload
+from repro.workloads.inputs import magnitude_mix, scaled
+
+SOURCE = r"""
+// Tagged arithmetic: a value handle is  (small << 1) | 1  for small ints
+// (T_INT tag in the low bit, like GAP's immediate integers) or an even
+// index into the bignum limb heap.
+// arg(0) = number of reduction rounds; input = operand values.
+
+global T_INT = 1;
+global LIMB_BITS = 15;
+global LIMB_MASK = 32767;
+
+global heap[65536];       // bignum records: [num_limbs, limb0, limb1, ...]
+global heap_top = 0;
+
+global handles[16384];
+global num_values = 0;
+
+func make_handle(value) {
+    if (value < 1073741824) {          // < 2^30: immediate integer
+        return (value << 1) | T_INT;
+    }
+    // Allocate a bignum: split into 15-bit limbs (records are capped at
+    // 8 limbs; the arena wraps, so stale handles may read recycled cells,
+    // which only perturbs values -- acceptable for a synthetic kernel).
+    if (heap_top + 10 > 65536) { heap_top = 0; }   // wrap the arena
+    var start = heap_top;
+    var count = 0;
+    var v = value;
+    while (v != 0 && count < 8) {
+        heap[start + 1 + count] = v & LIMB_MASK;
+        v = v >> LIMB_BITS;
+        count += 1;
+    }
+    heap[start] = count;
+    heap_top = start + 1 + count;
+    return start << 1;                              // even => bignum
+}
+
+func handle_value(hd) {
+    if (hd & T_INT) {
+        return hd >> 1;
+    }
+    var start = hd >> 1;
+    var count = heap[start];
+    if (count > 8) { count = 8; }   // guard against recycled cells
+    var v = 0;
+    var i = count - 1;
+    while (i >= 0) {
+        v = (v << LIMB_BITS) | heap[start + 1 + i];
+        i -= 1;
+    }
+    return v;
+}
+
+// The paper's Figure 6: Sum() checks the type of both operands and takes
+// a fast integer path or a slow bignum path.
+func sum_handles(hdl, hdr) {
+    if (hdl & hdr & T_INT) {                   // input-dependent branch (Fig. 6)
+        var result = (hdl >> 1) + (hdr >> 1);
+        if (result < 1073741824) {
+            return (result << 1) | T_INT;
+        }
+        return make_handle(result);
+    }
+    // Slow path: materialize both values and re-tag.
+    return make_handle(handle_value(hdl) + handle_value(hdr));
+}
+
+func product_handles(hdl, hdr) {
+    if (hdl & hdr & T_INT) {
+        var l = hdl >> 1;
+        var r = hdr >> 1;
+        if (l < 32768 && r < 32768) {           // product stays immediate
+            return ((l * r) << 1) | T_INT;
+        }
+        return make_handle(l * r);
+    }
+    return make_handle(handle_value(hdl) % 1073741824 + handle_value(hdr) % 3);
+}
+
+func gcd_small(a, b) {
+    while (b != 0) {
+        var t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+func main() {
+    var n = input_len();
+    if (n > 16384) { n = 16384; }
+    var i;
+    for (i = 0; i < n; i += 1) {
+        handles[i] = make_handle(input(i));
+    }
+    num_values = n;
+
+    var rounds = arg(0);
+    var checksum = 0;
+    var big_ops = 0;
+    var int_ops = 0;
+    var r;
+    for (r = 0; r < rounds; r += 1) {
+        // Pairwise reduction: sums and products over the working set.
+        for (i = 0; i + 1 < n; i += 2) {
+            var s = sum_handles(handles[i], handles[i + 1]);
+            if (s & T_INT) {
+                int_ops += 1;
+            } else {
+                big_ops += 1;
+            }
+            if ((i & 7) == 0) {
+                s = product_handles(s, handles[i]);
+            }
+            handles[i] = s;
+        }
+        // A little small-integer number theory to mix in easy branches.
+        var g = 0;
+        for (i = 0; i < n; i += 4) {
+            var hd = handles[i];
+            if (hd & T_INT) {
+                g = gcd_small(g, (hd >> 1) & 65535);
+            }
+        }
+        checksum += g;
+    }
+
+    output(int_ops);
+    output(big_ops);
+    output(checksum);
+    return int_ops - big_ops;
+}
+"""
+
+_BASE = 6_000
+
+
+def _make(name: str, seed: int, big_fraction: float, rounds: int,
+          contrast: float = 0.0, size: int = _BASE):
+    def factory(scale: float) -> InputSet:
+        n = scaled(size, scale, minimum=128)
+        # With contrast > 0 the big values cluster in segments (see
+        # magnitude_mix): that gives the type-check branch accuracy *phases
+        # within* a run — the signature 2D-profiling keys on (Figures 6/8).
+        # With contrast = 0 the mix is iid, which at 50% big makes the
+        # branch genuinely hard (the paper's ref behaviour: 42% mispredict).
+        return InputSet.make(
+            name,
+            data=magnitude_mix(n, seed, big_fraction,
+                               segment=max(32, n // 24), contrast=contrast),
+            args=[rounds],
+        )
+
+    return factory
+
+
+WORKLOAD = Workload(
+    name="gapish",
+    description="tagged small-int/bignum arithmetic; the big-value fraction "
+    "drives the Fig. 6 type-check branch",
+    source=SOURCE,
+    deep=True,
+    inputs={
+        # Paper: train data mostly < 2^30 (90% integer path); ref has a large
+        # fraction of values > 2^30 (misprediction 10% -> 42%).
+        "train": _make("train", seed=11, big_fraction=0.10, rounds=9, contrast=0.9),
+        "ref": _make("ref", seed=22, big_fraction=0.50, rounds=9, contrast=0.0),
+        "ext-1": _make("ext-1", seed=33, big_fraction=0.95, rounds=7, contrast=0.0),   # Smith Normal Form: huge values
+        "ext-2": _make("ext-2", seed=44, big_fraction=0.02, rounds=12, contrast=0.0),  # groups: small perms
+        "ext-3": _make("ext-3", seed=55, big_fraction=0.30, rounds=7, contrast=0.9),   # medium reduced
+        "ext-4": _make("ext-4", seed=66, big_fraction=0.65, rounds=10, contrast=0.5),  # modified ref
+    },
+)

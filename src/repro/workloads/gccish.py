@@ -1,0 +1,327 @@
+"""gccish — optimizing compiler middle-end over a synthetic IR (SPEC gcc).
+
+Processes a stream of three-address IR instructions through the classic
+pass pipeline: constant propagation, algebraic simplification / strength
+reduction, dead-code elimination, common-subexpression hashing, and a
+linear-scan register assigner.  Every pass is a dispatch over opcode and
+operand classes, so the *opcode and operand mix of the input program*
+drives hundreds of branch sites — matching gcc's position as the benchmark
+with the most input-dependent branches (33% at base-ext1-6).
+"""
+
+from __future__ import annotations
+
+from repro.vm.inputs import InputSet
+from repro.workloads.base import Workload
+from repro.workloads.inputs import rng, scaled
+
+SOURCE = r"""
+// IR instruction: (op, dst, src1, src2).  Ops:
+//   0 LOADI (dst <- imm src1)       1 ADD   2 SUB   3 MUL   4 DIV
+//   5 AND   6 OR    7 XOR   8 SHL   9 CMPLT (dst <- s1 < s2)
+//  10 BRANCH (if reg src1, skip src2 instrs)   11 STORE (sink)
+// input = [n, (op,dst,s1,s2)*n]; arg(0) = number of virtual registers,
+// arg(1) = number of physical registers.
+
+global op[20000];
+global dst[20000];
+global s1[20000];
+global s2[20000];
+global n_ins = 0;
+
+global const_known[2048];
+global const_val[2048];
+
+global live[2048];
+global cse_op[1024];
+global cse_a[1024];
+global cse_b[1024];
+global cse_dst[1024];
+
+global assigned[2048];
+global last_use[2048];
+
+func eval_op(o, a, b) {
+    if (o == 1) { return a + b; }
+    if (o == 2) { return a - b; }
+    if (o == 3) { return (a * b) & 1048575; }
+    if (o == 4) {
+        if (b == 0) { return 0; }
+        return a / b;
+    }
+    if (o == 5) { return a & b; }
+    if (o == 6) { return a | b; }
+    if (o == 7) { return a ^ b; }
+    if (o == 8) { return (a << (b & 15)) & 1048575; }
+    if (o == 9) {
+        if (a < b) { return 1; }
+        return 0;
+    }
+    return 0;
+}
+
+// Pass 1: constant propagation + algebraic simplification.
+func constprop(nregs) {
+    var folded = 0;
+    var simplified = 0;
+    var i;
+    for (i = 0; i < nregs; i += 1) { const_known[i] = 0; }
+    for (i = 0; i < n_ins; i += 1) {
+        var o = op[i];
+        if (o == 0) {                         // LOADI
+            const_known[dst[i]] = 1;
+            const_val[dst[i]] = s1[i];
+        } else if (o >= 1 && o <= 9) {
+            var ka = const_known[s1[i]];
+            var kb = const_known[s2[i]];
+            if (ka && kb) {                   // fold to LOADI
+                op[i] = 0;
+                s1[i] = eval_op(o, const_val[s1[i]], const_val[s2[i]]);
+                const_known[dst[i]] = 1;
+                const_val[dst[i]] = s1[i];
+                folded += 1;
+            } else {
+                // Algebraic identities: x+0, x*1, x*0, x&x, x|x ...
+                if (kb && const_val[s2[i]] == 0 && (o == 1 || o == 2 || o == 6 || o == 8)) {
+                    op[i] = 12;               // 12 = COPY dst <- s1
+                    simplified += 1;
+                } else if (kb && const_val[s2[i]] == 1 && (o == 3 || o == 4)) {
+                    op[i] = 12;
+                    simplified += 1;
+                } else if (kb && const_val[s2[i]] == 0 && (o == 3 || o == 5)) {
+                    op[i] = 0;                // x*0 / x&0 -> 0
+                    s1[i] = 0;
+                    const_known[dst[i]] = 1;
+                    const_val[dst[i]] = 0;
+                    simplified += 1;
+                } else if (o == 3 && kb && const_val[s2[i]] == 2) {
+                    op[i] = 8;                // strength-reduce *2 -> <<1
+                    s2[i] = 1;
+                    const_known[dst[i]] = 0;
+                    simplified += 1;
+                } else {
+                    const_known[dst[i]] = 0;
+                }
+            }
+        } else if (o == 12) {
+            const_known[dst[i]] = const_known[s1[i]];
+            const_val[dst[i]] = const_val[s1[i]];
+        } else if (o != 10 && o != 11) {
+            const_known[dst[i]] = 0;
+        }
+    }
+    output(folded);
+    return simplified;
+}
+
+// Pass 2: local CSE via a small hash table over (op, s1, s2).
+func cse() {
+    var hits = 0;
+    var i;
+    for (i = 0; i < 1024; i += 1) { cse_op[i] = -1; }
+    for (i = 0; i < n_ins; i += 1) {
+        var o = op[i];
+        if (o >= 1 && o <= 9) {
+            var h = (o * 31 + s1[i] * 17 + s2[i] * 7) & 1023;
+            if (cse_op[h] == o && cse_a[h] == s1[i] && cse_b[h] == s2[i]) {
+                op[i] = 12;                   // replace with COPY of prior dst
+                s1[i] = cse_dst[h];
+                hits += 1;
+            } else {
+                cse_op[h] = o;
+                cse_a[h] = s1[i];
+                cse_b[h] = s2[i];
+                cse_dst[h] = dst[i];
+            }
+        } else if (o == 10) {
+            // Branches invalidate the local value table (basic-block end).
+            var j;
+            for (j = 0; j < 1024; j += 64) { cse_op[j] = -1; }
+        }
+    }
+    return hits;
+}
+
+// Pass 3: backward liveness + dead-code elimination.
+func dce(nregs) {
+    var removed = 0;
+    var i;
+    for (i = 0; i < nregs; i += 1) { live[i] = 0; }
+    i = n_ins - 1;
+    while (i >= 0) {
+        var o = op[i];
+        if (o == 11 || o == 10) {             // sinks keep sources live
+            live[s1[i]] = 1;
+            if (o == 11) { live[s2[i]] = 1; }
+        } else if (o == 13) {
+            // already dead
+        } else {
+            if (live[dst[i]] == 0) {
+                op[i] = 13;                   // 13 = NOP (eliminated)
+                removed += 1;
+            } else {
+                live[dst[i]] = 0;
+                if (o != 0) {
+                    live[s1[i]] = 1;
+                    if (o != 12) { live[s2[i]] = 1; }
+                }
+            }
+        }
+        i -= 1;
+    }
+    return removed;
+}
+
+// Pass 4: linear-scan register assignment with spilling.
+func regalloc(nregs, nphys) {
+    var spills = 0;
+    var i;
+    for (i = 0; i < nregs; i += 1) {
+        assigned[i] = -1;
+        last_use[i] = -1;
+    }
+    // Compute last uses.
+    for (i = 0; i < n_ins; i += 1) {
+        if (op[i] != 13 && op[i] != 0) {
+            last_use[s1[i]] = i;
+            if (op[i] != 12) { last_use[s2[i]] = i; }
+        }
+    }
+    var in_use = array(nphys);
+    var holder = array(nphys);
+    for (i = 0; i < n_ins; i += 1) {
+        var o = op[i];
+        if (o == 13 || o == 10 || o == 11) { continue; }
+        // Free registers whose holder's last use has passed.
+        var p;
+        for (p = 0; p < nphys; p += 1) {
+            if (in_use[p] && last_use[holder[p]] < i) {
+                in_use[p] = 0;
+            }
+        }
+        // Allocate a register for dst.
+        var got = -1;
+        for (p = 0; p < nphys; p += 1) {
+            if (in_use[p] == 0) {
+                got = p;
+                break;
+            }
+        }
+        if (got < 0) {
+            spills += 1;                      // no free register: spill
+        } else {
+            in_use[got] = 1;
+            holder[got] = dst[i];
+            assigned[dst[i]] = got;
+        }
+    }
+    return spills;
+}
+
+func main() {
+    var nregs = arg(0);
+    var nphys = arg(1);
+    n_ins = input(0);
+    if (n_ins > 20000) { n_ins = 20000; }
+    var i;
+    for (i = 0; i < n_ins; i += 1) {
+        op[i] = input(1 + 4 * i);
+        dst[i] = input(2 + 4 * i) % nregs;
+        s1[i] = input(3 + 4 * i) % nregs;
+        s2[i] = input(4 + 4 * i) % nregs;
+        if (op[i] == 0) { s1[i] = input(3 + 4 * i); }   // immediates unreduced
+    }
+
+    var simplified = constprop(nregs);
+    var cse_hits = cse();
+    var removed = dce(nregs);
+    var spills = regalloc(nregs, nphys);
+
+    output(simplified);
+    output(cse_hits);
+    output(removed);
+    output(spills);
+    return removed + spills;
+}
+"""
+
+
+def _ir_stream(n: int, seed: int, imm_rate: float, arith_weights: list[float],
+               branch_rate: float, store_rate: float, reuse: float) -> list[int]:
+    """Synthetic IR program with a controllable opcode/operand mix."""
+    generator = rng(seed)
+    data = [n]
+    arith_ops = [1, 2, 3, 4, 5, 6, 7, 8, 9]
+    weights = list(arith_weights)
+    total = sum(weights)
+    probs = [w / total for w in weights]
+    recent: list[int] = [0]
+    for _ in range(n):
+        roll = generator.random()
+        if roll < imm_rate:
+            opcode = 0
+        elif roll < imm_rate + branch_rate:
+            opcode = 10
+        elif roll < imm_rate + branch_rate + store_rate:
+            opcode = 11
+        else:
+            opcode = int(generator.choice(arith_ops, p=probs))
+        dst = int(generator.integers(0, 1 << 16))
+        if generator.random() < reuse and recent:
+            src1 = recent[int(generator.integers(0, len(recent)))]
+        else:
+            src1 = int(generator.integers(0, 1 << 16))
+        src2 = int(generator.integers(0, 1 << 16))
+        if opcode == 0:
+            src1 = int(generator.integers(0, 4))  # small immediates fold often
+        data.extend((opcode, dst, src1, src2))
+        recent.append(dst)
+        if len(recent) > 8:
+            recent.pop(0)
+    return data
+
+
+def _make(name: str, seed: int, size: int, imm_rate: float, arith_weights: list[float],
+          branch_rate: float, store_rate: float, reuse: float, nregs: int, nphys: int):
+    def factory(scale: float) -> InputSet:
+        n = min(scaled(size, scale, minimum=256), 20000)
+        data = _ir_stream(n, seed, imm_rate, arith_weights, branch_rate, store_rate, reuse)
+        return InputSet.make(name, data=data, args=[nregs, nphys])
+
+    return factory
+
+
+# arith_weights order: ADD SUB MUL DIV AND OR XOR SHL CMPLT
+WORKLOAD = Workload(
+    name="gccish",
+    description="constant-prop + CSE + DCE + linear-scan passes over "
+    "synthetic IR; opcode/operand mixes drive pass dispatch branches",
+    source=SOURCE,
+    deep=True,
+    inputs={
+        "train": _make("train", seed=4, size=15000, imm_rate=0.30,
+                       arith_weights=[5, 3, 2, 1, 1, 1, 1, 1, 2],
+                       branch_rate=0.06, store_rate=0.10, reuse=0.5, nregs=512, nphys=12),
+        "ref": _make("ref", seed=16, size=15000, imm_rate=0.10,
+                     arith_weights=[2, 2, 4, 3, 2, 2, 2, 3, 1],
+                     branch_rate=0.15, store_rate=0.20, reuse=0.2, nregs=2048, nphys=6),
+        "ext-1": _make("ext-1", seed=28, size=6000, imm_rate=0.45,
+                       arith_weights=[6, 2, 1, 1, 1, 1, 1, 1, 1],
+                       branch_rate=0.03, store_rate=0.06, reuse=0.7, nregs=256, nphys=16),
+        "ext-2": _make("ext-2", seed=40, size=12000, imm_rate=0.20,
+                       arith_weights=[3, 3, 3, 3, 1, 1, 1, 1, 3],
+                       branch_rate=0.20, store_rate=0.12, reuse=0.3, nregs=1024, nphys=8),
+        "ext-3": _make("ext-3", seed=52, size=14000, imm_rate=0.15,
+                       arith_weights=[1, 1, 1, 1, 4, 4, 4, 4, 1],
+                       branch_rate=0.08, store_rate=0.25, reuse=0.4, nregs=1024, nphys=10),
+        "ext-4": _make("ext-4", seed=64, size=13000, imm_rate=0.05,
+                       arith_weights=[4, 4, 1, 1, 2, 2, 2, 2, 4],
+                       branch_rate=0.12, store_rate=0.08, reuse=0.6, nregs=2048, nphys=4),
+        "ext-5": _make("ext-5", seed=76, size=10000, imm_rate=0.35,
+                       arith_weights=[2, 2, 5, 4, 1, 1, 1, 2, 1],
+                       branch_rate=0.10, store_rate=0.15, reuse=0.25, nregs=512, nphys=14),
+        "ext-6": _make("ext-6", seed=88, size=16000, imm_rate=0.25,
+                       arith_weights=[4, 2, 2, 2, 2, 2, 2, 2, 2],
+                       branch_rate=0.09, store_rate=0.18, reuse=0.45, nregs=1536, nphys=9),
+    },
+)

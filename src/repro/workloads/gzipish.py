@@ -1,0 +1,216 @@
+"""gzipish — LZ77 hash-chain compressor (SPEC gzip stand-in).
+
+Contains the paper's Figure 7 idiom verbatim: a ``config_table`` indexed by
+the compression level (``arg(0)``) supplies ``max_chain``, which bounds the
+hash-chain walk via a do-while loop whose exit branch is input-dependent on
+the compression level; data redundancy drives the match/literal branches.
+"""
+
+from __future__ import annotations
+
+from repro.vm.inputs import InputSet
+from repro.workloads.base import Workload
+from repro.workloads.inputs import (
+    graphic_like,
+    program_like,
+    random_bytes,
+    repetitive,
+    scaled,
+    text_like,
+    video_like,
+)
+
+SOURCE = r"""
+// LZ77 hash-chain compressor in the style of gzip's deflate.
+// arg(0) = pack_level in [1, 9]; input = byte stream.
+
+global WSIZE = 8192;
+global WMASK = 8191;
+global HASH_MASK = 4095;
+global MAX_MATCH = 32;
+global MIN_MATCH = 3;
+
+global window[131072];
+global head[4096];
+global prev[8192];
+
+// config_table[pack_level] = {good_length, max_lazy, nice_length, max_chain}
+global config_good[10];
+global config_lazy[10];
+global config_nice[10];
+global config_chain[10];
+
+global match_start = 0;
+
+func init_config() {
+    // level:            1   2   3   4   5   6   7   8   9
+    config_good[1] = 4;  config_lazy[1] = 4;   config_nice[1] = 8;   config_chain[1] = 4;
+    config_good[2] = 4;  config_lazy[2] = 5;   config_nice[2] = 16;  config_chain[2] = 8;
+    config_good[3] = 4;  config_lazy[3] = 6;   config_nice[3] = 32;  config_chain[3] = 32;
+    config_good[4] = 4;  config_lazy[4] = 4;   config_nice[4] = 16;  config_chain[4] = 16;
+    config_good[5] = 8;  config_lazy[5] = 16;  config_nice[5] = 32;  config_chain[5] = 32;
+    config_good[6] = 8;  config_lazy[6] = 16;  config_nice[6] = 64;  config_chain[6] = 64;
+    config_good[7] = 8;  config_lazy[7] = 32;  config_nice[7] = 64;  config_chain[7] = 128;
+    config_good[8] = 32; config_lazy[8] = 64;  config_nice[8] = 128; config_chain[8] = 256;
+    config_good[9] = 32; config_lazy[9] = 64;  config_nice[9] = 128; config_chain[9] = 512;
+}
+
+func hash3(pos) {
+    return ((window[pos] << 10) ^ (window[pos + 1] << 5) ^ window[pos + 2]) & HASH_MASK;
+}
+
+// Find the longest match for the string at `pos`; returns its length and
+// stores its start in `match_start`.  The chain walk mirrors gzip's
+// longest_match: the do-while exit branch depends on max_chain (the
+// compression level) and on the data's redundancy -- the paper's
+// input-dependent loop-exit branch.
+func longest_match(pos, n, max_chain, nice_length, prev_length) {
+    var chain_length = max_chain;
+    var limit = pos - WSIZE + 1;
+    if (limit < 1) { limit = 1; }
+    var best_len = prev_length;
+    var cur = head[hash3(pos)];
+    var max_len = n - pos;
+    if (max_len > MAX_MATCH) { max_len = MAX_MATCH; }
+    if (cur < limit) { return best_len; }
+    do {
+        var m = cur - 1;
+        // Quick reject: check the byte that would extend the best match.
+        if (m + best_len < n && window[m + best_len] == window[pos + best_len]) {
+            var len = 0;
+            while (len < max_len && window[m + len] == window[pos + len]) {
+                len += 1;
+            }
+            if (len > best_len) {
+                best_len = len;
+                match_start = m;
+                if (len >= nice_length) {
+                    return best_len;
+                }
+            }
+        }
+        cur = prev[m & WMASK];
+        chain_length -= 1;
+    } while (cur >= limit && chain_length != 0);   // Fig. 7's exit branch
+    return best_len;
+}
+
+func insert_string(pos) {
+    var h = hash3(pos);
+    prev[pos & WMASK] = head[h];
+    head[h] = pos + 1;
+}
+
+func main() {
+    init_config();
+    var pack_level = arg(0);
+    if (pack_level < 1) { pack_level = 1; }
+    if (pack_level > 9) { pack_level = 9; }
+    var max_chain = config_chain[pack_level];
+    var nice_length = config_nice[pack_level];
+    var max_lazy = config_lazy[pack_level];
+    var good_length = config_good[pack_level];
+
+    var n = input_len();
+    if (n > 131072) { n = 131072; }
+    var i;
+    for (i = 0; i < n; i += 1) { window[i] = input(i); }
+
+    var literals = 0;
+    var matches = 0;
+    var match_bytes = 0;
+    var pos = 0;
+    var prev_length = 0;
+    var prev_start = 0;
+    var have_prev = 0;
+
+    while (pos + MIN_MATCH < n) {
+        var chain = max_chain;
+        if (prev_length >= good_length) {
+            chain = chain >> 2;   // gzip: reduce effort after a good match
+        }
+        var len = longest_match(pos, n, chain, nice_length, MIN_MATCH - 1);
+        insert_string(pos);
+
+        if (have_prev && prev_length >= MIN_MATCH && prev_length >= len) {
+            // Emit the deferred (lazy) match.
+            matches += 1;
+            match_bytes += prev_length;
+            var stop = pos + prev_length - 1;
+            if (stop > n - MIN_MATCH) { stop = n - MIN_MATCH; }
+            while (pos + 1 < stop) {
+                pos += 1;
+                insert_string(pos);
+            }
+            pos += 1;
+            have_prev = 0;
+            prev_length = 0;
+        } else {
+            if (have_prev) {
+                literals += 1;   // Previous byte goes out as a literal.
+            }
+            if (len >= MIN_MATCH && len < max_lazy) {
+                // Defer: maybe the next position matches longer.
+                prev_length = len;
+                prev_start = match_start;
+                have_prev = 1;
+                pos += 1;
+            } else if (len >= MIN_MATCH) {
+                matches += 1;
+                match_bytes += len;
+                var stop2 = pos + len - 1;
+                if (stop2 > n - MIN_MATCH) { stop2 = n - MIN_MATCH; }
+                while (pos + 1 < stop2) {
+                    pos += 1;
+                    insert_string(pos);
+                }
+                pos += 1;
+                have_prev = 0;
+                prev_length = 0;
+            } else {
+                literals += 1;
+                have_prev = 0;
+                prev_length = 0;
+                pos += 1;
+            }
+        }
+    }
+
+    output(literals);
+    output(matches);
+    output(match_bytes);
+    return literals + matches;
+}
+"""
+
+_BASE = 16_000
+
+
+def _make(name: str, generator, seed: int, level: int, size: int = _BASE):
+    def factory(scale: float) -> InputSet:
+        return InputSet.make(name, data=generator(scaled(size, scale, minimum=256), seed), args=[level])
+
+    return factory
+
+
+WORKLOAD = Workload(
+    name="gzipish",
+    description="LZ77 hash-chain compressor; compression level and data "
+    "redundancy drive the Fig. 7 loop-exit branch",
+    source=SOURCE,
+    deep=True,
+    inputs={
+        # SPEC gzip runs each input at several levels; we pick one level per
+        # input set so the *pair* (data, level) is the input, like the paper's
+        # "input-dependent on the input parameter that specifies the
+        # compression level".
+        "train": _make("train", text_like, seed=101, level=4),
+        "ref": _make("ref", program_like, seed=202, level=9),
+        "ext-1": _make("ext-1", repetitive, seed=303, level=6),       # input.log
+        "ext-2": _make("ext-2", graphic_like, seed=404, level=6),     # input.graphic
+        "ext-3": _make("ext-3", random_bytes, seed=505, level=9),     # input.random
+        "ext-4": _make("ext-4", program_like, seed=606, level=1),     # input.program
+        "ext-5": _make("ext-5", video_like, seed=707, level=6),       # 166.i-ish
+        "ext-6": _make("ext-6", text_like, seed=808, level=9),        # big text
+    },
+)

@@ -1,0 +1,245 @@
+"""parserish — tokenizer + recursive-descent expression parser (SPEC parser).
+
+Parses a stream of synthetic "sentences" (arithmetic expressions with
+variables, calls, and parenthesis nesting) with a precedence-climbing
+parser and evaluates them.  Token-class dispatch branches and
+nesting-depth recursion depend on the input's grammar statistics.
+"""
+
+from __future__ import annotations
+
+from repro.vm.inputs import InputSet
+from repro.workloads.base import Workload
+from repro.workloads.inputs import rng, scaled
+
+SOURCE = r"""
+// Token kinds: 0 number, 1 name, 2 '+', 3 '*', 4 '(', 5 ')',
+//              6 '-', 7 '/', 8 ',', 9 end-of-sentence.
+// input = token stream [kind, value, kind, value, ...]
+// arg(0) = symbol table size
+
+global toks[120000];
+global vals[120000];
+global num_toks = 0;
+global pos = 0;
+
+global symtab[512];
+global sym_size = 0;
+
+global parse_errors = 0;
+global depth_max = 0;
+global depth_cur = 0;
+
+func peek() {
+    if (pos >= num_toks) { return 9; }
+    return toks[pos];
+}
+
+func advance() {
+    pos += 1;
+}
+
+func lookup(name) {
+    // Symbol "hash table" with linear probing.
+    var h = (name * 2654435761) % sym_size;
+    if (h < 0) { h += sym_size; }
+    var probes = 0;
+    while (probes < 32) {
+        var slot = (h + probes) % sym_size;
+        if (symtab[slot] == 0) {
+            symtab[slot] = name + 1;       // insert on miss
+            return name & 255;
+        }
+        if (symtab[slot] == name + 1) {
+            return (name * 7) & 255;       // hit
+        }
+        probes += 1;
+    }
+    return 0;
+}
+
+func parse_primary() {
+    var kind = peek();
+    if (kind == 0) {                        // number
+        var v = vals[pos];
+        advance();
+        return v;
+    }
+    if (kind == 1) {                        // name
+        var v2 = lookup(vals[pos]);
+        advance();
+        if (peek() == 4) {                  // call: name ( args )
+            advance();
+            var total = v2;
+            if (peek() != 5) {
+                total += parse_expr();
+                while (peek() == 8) {       // comma-separated args
+                    advance();
+                    total += parse_expr();
+                }
+            }
+            if (peek() == 5) {
+                advance();
+            } else {
+                parse_errors += 1;
+            }
+            return total & 65535;
+        }
+        return v2;
+    }
+    if (kind == 4) {                        // parenthesized
+        advance();
+        depth_cur += 1;
+        if (depth_cur > depth_max) { depth_max = depth_cur; }
+        var inner = parse_expr();
+        depth_cur -= 1;
+        if (peek() == 5) {
+            advance();
+        } else {
+            parse_errors += 1;
+        }
+        return inner;
+    }
+    if (kind == 6) {                        // unary minus
+        advance();
+        return 0 - parse_primary();
+    }
+    parse_errors += 1;                      // unexpected token
+    advance();
+    return 0;
+}
+
+func parse_term() {
+    var left = parse_primary();
+    while (peek() == 3 || peek() == 7) {
+        var op = peek();
+        advance();
+        var right = parse_primary();
+        if (op == 3) {
+            left = (left * right) & 1048575;
+        } else {
+            if (right == 0) { right = 1; }
+            left = left / right;
+        }
+    }
+    return left;
+}
+
+func parse_expr() {
+    var left = parse_term();
+    while (peek() == 2 || peek() == 6) {
+        var op = peek();
+        advance();
+        var right = parse_term();
+        if (op == 2) {
+            left = left + right;
+        } else {
+            left = left - right;
+        }
+    }
+    return left;
+}
+
+func main() {
+    sym_size = arg(0);
+    if (sym_size < 16) { sym_size = 16; }
+    if (sym_size > 512) { sym_size = 512; }
+
+    var n = input_len() / 2;
+    if (n > 60000) { n = 60000; }
+    var i;
+    for (i = 0; i < n; i += 1) {
+        toks[i] = input(2 * i);
+        vals[i] = input(2 * i + 1);
+    }
+    num_toks = n;
+
+    var checksum = 0;
+    var sentences = 0;
+    pos = 0;
+    while (pos < num_toks) {
+        checksum = (checksum + parse_expr()) & 1073741823;
+        sentences += 1;
+        if (peek() == 9) {
+            advance();
+        }
+    }
+
+    output(checksum);
+    output(sentences);
+    output(parse_errors);
+    output(depth_max);
+    return sentences;
+}
+"""
+
+
+def _sentence_stream(n_tokens: int, seed: int, nesting: float, call_rate: float,
+                     name_rate: float, error_rate: float) -> list[int]:
+    """Generate a token stream of expression sentences.
+
+    The generator emits structurally mostly-valid sentences; ``nesting``
+    raises parenthesis depth, ``call_rate`` the frequency of call syntax,
+    ``error_rate`` injects stray tokens (the parser recovers).
+    """
+    generator = rng(seed)
+    out: list[int] = []
+
+    def emit(kind: int, value: int = 0) -> None:
+        out.extend((kind, value))
+
+    def gen_primary(depth: int) -> None:
+        roll = generator.random()
+        if depth < 6 and roll < nesting:
+            emit(4)
+            gen_expr(depth + 1)
+            emit(5)
+        elif depth < 6 and roll < nesting + call_rate:
+            emit(1, int(generator.integers(1, 120)))
+            emit(4)
+            gen_expr(depth + 1)
+            if generator.random() < 0.4:
+                emit(8)
+                gen_expr(depth + 1)
+            emit(5)
+        elif roll < nesting + call_rate + name_rate:
+            emit(1, int(generator.integers(1, 120)))
+        else:
+            emit(0, int(generator.integers(0, 1000)))
+
+    def gen_expr(depth: int) -> None:
+        gen_primary(depth)
+        for _ in range(int(generator.integers(0, 3))):
+            emit(int(generator.choice([2, 3, 6, 7])))
+            gen_primary(depth)
+
+    while len(out) < 2 * n_tokens:
+        if generator.random() < error_rate:
+            emit(int(generator.choice([5, 8])))  # stray token
+        gen_expr(0)
+        emit(9)
+    return out[: 2 * n_tokens]
+
+
+def _make(name: str, seed: int, nesting: float, call_rate: float,
+          name_rate: float, error_rate: float, symbols: int, tokens: int = 30_000):
+    def factory(scale: float) -> InputSet:
+        stream = _sentence_stream(
+            scaled(tokens, scale, minimum=512), seed, nesting, call_rate, name_rate, error_rate
+        )
+        return InputSet.make(name, data=stream, args=[symbols])
+
+    return factory
+
+
+WORKLOAD = Workload(
+    name="parserish",
+    description="expression tokenizer/parser; grammar statistics drive "
+    "dispatch and recursion branches",
+    source=SOURCE,
+    deep=False,
+    inputs={
+        "train": _make("train", seed=2, nesting=0.15, call_rate=0.10, name_rate=0.35, error_rate=0.01, symbols=256),
+        "ref": _make("ref", seed=8, nesting=0.30, call_rate=0.20, name_rate=0.20, error_rate=0.04, symbols=128),
+    },
+)

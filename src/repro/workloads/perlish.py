@@ -1,0 +1,183 @@
+"""perlish — regex-lite pattern matcher / text processor (SPEC perlbmk).
+
+Runs a small pattern interpreter (literals, ``.`` wildcard, ``*`` closure,
+character classes, anchors) over a line-structured text, counting matches
+and doing a substitution-style pass.  The interpreter's dispatch branches
+are dominated by the *pattern programs*, which are fixed, so — like
+perlbmk in the paper — relatively few branches are input-dependent.
+"""
+
+from __future__ import annotations
+
+from repro.vm.inputs import InputSet
+from repro.workloads.base import Workload
+from repro.workloads.inputs import scaled, text_like
+
+SOURCE = r"""
+// Pattern VM over byte text.  Pattern opcodes (in global pat[]):
+//   0 end, 1 literal c, 2 any, 3 class-digit, 4 class-alpha,
+//   5 star(literal c), 6 anchor-start.
+// input = text bytes (10 = newline); arg(0) = pattern set selector.
+
+global text[100000];
+global n_text = 0;
+global pat[64];
+
+func is_digit(c) {
+    return c >= 48 && c <= 57;
+}
+
+func is_alpha(c) {
+    return (c >= 97 && c <= 122) || (c >= 65 && c <= 90);
+}
+
+// Match pattern starting at pat[pp] against text starting at tp
+// within [tp, line_end).  Returns 1 on match.
+func match_here(pp, tp, line_end) {
+    while (1) {
+        var opcode = pat[pp];
+        if (opcode == 0) {
+            return 1;
+        }
+        if (opcode == 5) {                     // star of a literal
+            var c = pat[pp + 1];
+            // Greedy: consume as many as possible, then backtrack.
+            var count = 0;
+            while (tp + count < line_end && text[tp + count] == c) {
+                count += 1;
+            }
+            while (count >= 0) {
+                if (match_here(pp + 2, tp + count, line_end)) {
+                    return 1;
+                }
+                count -= 1;
+            }
+            return 0;
+        }
+        if (tp >= line_end) {
+            return 0;
+        }
+        var ch = text[tp];
+        if (opcode == 1) {
+            if (ch != pat[pp + 1]) { return 0; }
+            pp += 2;
+        } else if (opcode == 2) {
+            pp += 1;
+        } else if (opcode == 3) {
+            if (!is_digit(ch)) { return 0; }
+            pp += 1;
+        } else if (opcode == 4) {
+            if (!is_alpha(ch)) { return 0; }
+            pp += 1;
+        } else {
+            return 0;                          // bad opcode
+        }
+        tp += 1;
+    }
+    return 0;
+}
+
+// Match anywhere in [line_start, line_end).
+func match_line(line_start, line_end) {
+    if (pat[0] == 6) {
+        return match_here(1, line_start, line_end);
+    }
+    var tp = line_start;
+    while (tp < line_end) {
+        if (match_here(0, tp, line_end)) {
+            return 1;
+        }
+        tp += 1;
+    }
+    return 0;
+}
+
+func load_pattern(which) {
+    var i;
+    for (i = 0; i < 64; i += 1) { pat[i] = 0; }
+    if (which == 0) {
+        // /a*b/
+        pat[0] = 5; pat[1] = 97; pat[2] = 1; pat[3] = 98; pat[4] = 0;
+    } else if (which == 1) {
+        // /^the /
+        pat[0] = 6; pat[1] = 1; pat[2] = 116; pat[3] = 1; pat[4] = 104;
+        pat[5] = 1; pat[6] = 101; pat[7] = 1; pat[8] = 32; pat[9] = 0;
+    } else if (which == 2) {
+        // /\a\a\d/  (two letters then a digit)
+        pat[0] = 4; pat[1] = 4; pat[2] = 3; pat[3] = 0;
+    } else {
+        // /e.e/
+        pat[0] = 1; pat[1] = 101; pat[2] = 2; pat[3] = 1; pat[4] = 101; pat[5] = 0;
+    }
+}
+
+func main() {
+    var selector = arg(0);
+    var n = input_len();
+    if (n > 100000) { n = 100000; }
+    var i;
+    for (i = 0; i < n; i += 1) { text[i] = input(i); }
+    n_text = n;
+
+    var matches = 0;
+    var lines = 0;
+    var substitutions = 0;
+    var p;
+    for (p = 0; p < 3; p += 1) {          // selector rotates a 3-of-4 subset
+        load_pattern((p + selector) % 4);
+        var line_start = 0;
+        while (line_start < n_text) {
+            var line_end = line_start;
+            while (line_end < n_text && text[line_end] != 10) {
+                line_end += 1;
+            }
+            if (match_line(line_start, line_end)) {
+                matches += 1;
+                // Substitution-ish pass: uppercase the line (toggle bit 5).
+                var t;
+                for (t = line_start; t < line_end; t += 1) {
+                    if (text[t] >= 97 && text[t] <= 122) {
+                        text[t] -= 32;
+                        substitutions += 1;
+                    }
+                }
+            }
+            lines += 1;
+            line_start = line_end + 1;
+        }
+    }
+
+    output(matches);
+    output(lines);
+    output(substitutions);
+    return matches;
+}
+"""
+
+
+def _texty(n: int, seed: int) -> list[int]:
+    data = text_like(n, seed)
+    # Insert newlines to form lines of ~60 chars.
+    for i in range(55, len(data), 60):
+        data[i] = 10
+    return data
+
+
+def _make(name: str, seed: int, selector: int, size: int = 14_000):
+    def factory(scale: float) -> InputSet:
+        return InputSet.make(name, data=_texty(scaled(size, scale, minimum=512), seed), args=[selector])
+
+    return factory
+
+
+WORKLOAD = Workload(
+    name="perlish",
+    description="regex-lite pattern interpreter; patterns are fixed so few "
+    "branches are input-dependent (as for perlbmk)",
+    source=SOURCE,
+    deep=False,
+    inputs={
+        "train": _make("train", seed=35, selector=0),
+        "ref": _make("ref", seed=46, selector=1),
+    },
+)

@@ -1,0 +1,66 @@
+"""Workload registry.
+
+Twelve programs mirror the twelve SPEC CPU2000 INT benchmarks the paper
+evaluates (Table 2); the six marked ``deep`` additionally carry the
+extended input sets of Table 4.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.workloads.base import Workload
+
+from repro.workloads.bzipish import WORKLOAD as _bzipish
+from repro.workloads.gzipish import WORKLOAD as _gzipish
+from repro.workloads.twolfish import WORKLOAD as _twolfish
+from repro.workloads.gapish import WORKLOAD as _gapish
+from repro.workloads.craftyish import WORKLOAD as _craftyish
+from repro.workloads.parserish import WORKLOAD as _parserish
+from repro.workloads.mcfish import WORKLOAD as _mcfish
+from repro.workloads.gccish import WORKLOAD as _gccish
+from repro.workloads.vprish import WORKLOAD as _vprish
+from repro.workloads.vortexish import WORKLOAD as _vortexish
+from repro.workloads.perlish import WORKLOAD as _perlish
+from repro.workloads.eonish import WORKLOAD as _eonish
+
+# Ordered as in the paper's Figure 3 (descending dynamic fraction of
+# input-dependent branches in SPEC).
+WORKLOADS: dict[str, Workload] = {
+    w.name: w
+    for w in [
+        _bzipish,
+        _gzipish,
+        _twolfish,
+        _gapish,
+        _craftyish,
+        _parserish,
+        _mcfish,
+        _gccish,
+        _vprish,
+        _vortexish,
+        _perlish,
+        _eonish,
+    ]
+}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up one workload by name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ExperimentError(f"unknown workload {name!r}; known: {sorted(WORKLOADS)}") from None
+
+
+def all_workloads() -> list[Workload]:
+    """All twelve workloads in paper order."""
+    return list(WORKLOADS.values())
+
+
+def deep_workloads() -> list[Workload]:
+    """The six workloads with extended input sets (paper Section 5.2)."""
+    return [w for w in WORKLOADS.values() if w.deep]
+
+
+def workload_names() -> list[str]:
+    return list(WORKLOADS)

@@ -1,0 +1,184 @@
+"""twolfish — simulated-annealing standard-cell placer (SPEC twolf stand-in).
+
+Places cells on a grid minimising total net wirelength with the classic
+accept-improving / accept-worsening-with-temperature-probability loop.  The
+cooling schedule makes the acceptance branch's behaviour *change over the
+run* (phase behaviour), and the netlist's connectivity structure makes the
+delta-cost comparison branches input-dependent — twolf is one of the
+paper's high-input-dependence benchmarks despite a near-identical overall
+misprediction rate across inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vm.inputs import InputSet
+from repro.workloads.base import Workload
+from repro.workloads.inputs import rng, scaled
+
+SOURCE = r"""
+// Simulated-annealing placement.
+// input = [num_cells, num_nets, (cell_a, cell_b)*num_nets]
+// arg(0) = grid width, arg(1) = moves per temperature, arg(2) = temp levels
+
+global cell_x[4096];
+global cell_y[4096];
+global net_a[16384];
+global net_b[16384];
+
+// Per-cell incident-net adjacency in CSR form.
+global adj_start[4097];
+global adj_net[32768];
+
+global num_cells = 0;
+global num_nets = 0;
+
+func net_cost(n) {
+    var a = net_a[n];
+    var b = net_b[n];
+    var dx = cell_x[a] - cell_x[b];
+    var dy = cell_y[a] - cell_y[b];
+    return abs(dx) + abs(dy);
+}
+
+func build_adjacency() {
+    var i;
+    for (i = 0; i <= num_cells; i += 1) { adj_start[i] = 0; }
+    for (i = 0; i < num_nets; i += 1) {
+        adj_start[net_a[i] + 1] += 1;
+        adj_start[net_b[i] + 1] += 1;
+    }
+    for (i = 1; i <= num_cells; i += 1) { adj_start[i] += adj_start[i - 1]; }
+    // Fill from the back using a moving cursor per cell.
+    var cursor = array(num_cells);
+    for (i = 0; i < num_nets; i += 1) {
+        var a = net_a[i];
+        var b = net_b[i];
+        adj_net[adj_start[a] + cursor[a]] = i;
+        cursor[a] += 1;
+        adj_net[adj_start[b] + cursor[b]] = i;
+        cursor[b] += 1;
+    }
+}
+
+func cell_cost(c) {
+    var total = 0;
+    var k;
+    var stop = adj_start[c + 1];
+    for (k = adj_start[c]; k < stop; k += 1) {
+        total += net_cost(adj_net[k]);
+    }
+    return total;
+}
+
+func main() {
+    var grid = arg(0);
+    var moves_per_temp = arg(1);
+    var temp_levels = arg(2);
+
+    num_cells = input(0);
+    num_nets = input(1);
+    var i;
+    for (i = 0; i < num_nets; i += 1) {
+        net_a[i] = input(2 + 2 * i);
+        net_b[i] = input(3 + 2 * i);
+    }
+
+    build_adjacency();
+
+    // Initial placement: row-major.
+    for (i = 0; i < num_cells; i += 1) {
+        cell_x[i] = i % grid;
+        cell_y[i] = i / grid;
+    }
+
+    srand(9781);
+    var accepted = 0;
+    var rejected = 0;
+    var uphill = 0;
+    var temp = 1000;
+    var level;
+    for (level = 0; level < temp_levels; level += 1) {
+        var m;
+        for (m = 0; m < moves_per_temp; m += 1) {
+            var c = rand() % num_cells;
+            var before = cell_cost(c);
+            var old_x = cell_x[c];
+            var old_y = cell_y[c];
+            cell_x[c] = rand() % grid;
+            cell_y[c] = rand() % grid;
+            var after = cell_cost(c);
+            var delta = after - before;
+            if (delta <= 0) {
+                accepted += 1;                   // improving move
+            } else if ((rand() % 1000) * 100 < temp * 100 - delta * 50) {
+                accepted += 1;                   // uphill move, temp-dependent
+                uphill += 1;
+            } else {
+                cell_x[c] = old_x;               // reject: undo
+                cell_y[c] = old_y;
+                rejected += 1;
+            }
+        }
+        temp = (temp * 85) / 100;                // geometric cooling
+    }
+
+    var final_cost = 0;
+    for (i = 0; i < num_nets; i += 1) {
+        final_cost += net_cost(i);
+    }
+    output(accepted);
+    output(uphill);
+    output(rejected);
+    output(final_cost);
+    return final_cost;
+}
+"""
+
+
+def _netlist(num_cells: int, num_nets: int, seed: int, locality: float) -> list[int]:
+    """Netlist with tunable locality: local nets connect nearby cell ids."""
+    generator = rng(seed)
+    data = [num_cells, num_nets]
+    for _ in range(num_nets):
+        a = int(generator.integers(0, num_cells))
+        if generator.random() < locality:
+            b = (a + int(generator.integers(1, 8))) % num_cells
+        else:
+            b = int(generator.integers(0, num_cells))
+        if b == a:
+            b = (a + 1) % num_cells
+        data.extend((a, b))
+    return data
+
+
+def _make(name: str, seed: int, cells: int, nets: int, locality: float,
+          grid: int, moves: int, levels: int):
+    def factory(scale: float) -> InputSet:
+        c = scaled(cells, scale, minimum=32)
+        n = scaled(nets, scale, minimum=48)
+        return InputSet.make(
+            name,
+            data=_netlist(min(c, 4096), min(n, 8000), seed, locality),
+            args=[grid, max(8, int(moves * scale)), levels],
+        )
+
+    return factory
+
+
+WORKLOAD = Workload(
+    name="twolfish",
+    description="simulated-annealing placement; cooling schedule gives the "
+    "acceptance branch phase behaviour",
+    source=SOURCE,
+    deep=True,
+    inputs={
+        "train": _make("train", seed=3, cells=160, nets=300, locality=0.7, grid=16, moves=700, levels=24),
+        "ref": _make("ref", seed=7, cells=260, nets=460, locality=0.3, grid=20, moves=800, levels=26),
+        "ext-1": _make("ext-1", seed=19, cells=220, nets=400, locality=0.5, grid=18, moves=700, levels=22),  # large reduced
+        "ext-2": _make("ext-2", seed=23, cells=120, nets=200, locality=0.6, grid=12, moves=550, levels=20),  # medium reduced
+        "ext-3": _make("ext-3", seed=31, cells=260, nets=430, locality=0.8, grid=20, moves=750, levels=24),  # modified ref
+        "ext-4": _make("ext-4", seed=43, cells=80, nets=130, locality=0.4, grid=10, moves=450, levels=18),   # small reduced
+    },
+)

@@ -1,0 +1,208 @@
+"""vortexish — in-memory object database (SPEC vortex stand-in).
+
+Executes a transaction stream (insert / lookup / delete / range-count)
+against a chained hash table.  Key distribution (hit rates, clustering)
+and the operation mix drive bucket-empty checks, chain-walk loops, and
+operation dispatch branches.
+"""
+
+from __future__ import annotations
+
+from repro.vm.inputs import InputSet
+from repro.workloads.base import Workload
+from repro.workloads.inputs import rng, scaled
+
+SOURCE = r"""
+// Chained hash table with a free list.
+// input = [(opcode, key)*n]: 0 insert, 1 lookup, 2 delete, 3 range-count.
+// arg(0) = number of buckets (power of two).
+
+global bucket[4096];     // head node index + 1, 0 = empty
+global node_key[40000];
+global node_next[40000]; // next + 1, 0 = end
+global node_val[40000];
+global free_head = 0;    // free list head + 1
+global next_fresh = 0;
+
+global nbuckets = 4096;
+global mask = 4095;
+
+func hash_key(k) {
+    k = (k ^ (k >> 16)) * 73244475;
+    k = (k ^ (k >> 13)) & 1073741823;
+    return k & mask;
+}
+
+func alloc_node() {
+    if (free_head != 0) {
+        var idx = free_head - 1;
+        free_head = node_next[idx];
+        return idx;
+    }
+    var fresh = next_fresh;
+    next_fresh += 1;
+    if (next_fresh >= 40000) { next_fresh = 0; }   // recycle (synthetic)
+    return fresh;
+}
+
+func db_insert(key, val) {
+    var h = hash_key(key);
+    // Walk the chain: update in place if present.
+    var cur = bucket[h];
+    while (cur != 0) {
+        var idx = cur - 1;
+        if (node_key[idx] == key) {
+            node_val[idx] = val;
+            return 0;
+        }
+        cur = node_next[idx];
+    }
+    var fresh = alloc_node();
+    node_key[fresh] = key;
+    node_val[fresh] = val;
+    node_next[fresh] = bucket[h];
+    bucket[h] = fresh + 1;
+    return 1;
+}
+
+func db_lookup(key) {
+    var cur = bucket[hash_key(key)];
+    var depth = 0;
+    while (cur != 0) {
+        var idx = cur - 1;
+        if (node_key[idx] == key) {
+            return node_val[idx];
+        }
+        cur = node_next[idx];
+        depth += 1;
+        if (depth > 64) { return -2; }   // degenerate chain guard
+    }
+    return -1;
+}
+
+func db_delete(key) {
+    var h = hash_key(key);
+    var cur = bucket[h];
+    var prev = 0;
+    while (cur != 0) {
+        var idx = cur - 1;
+        if (node_key[idx] == key) {
+            if (prev == 0) {
+                bucket[h] = node_next[idx];
+            } else {
+                node_next[prev - 1] = node_next[idx];
+            }
+            node_next[idx] = free_head;
+            free_head = idx + 1;
+            return 1;
+        }
+        prev = cur;
+        cur = node_next[idx];
+    }
+    return 0;
+}
+
+// Count keys in [key, key + 255] by probing each bucket chain.
+func db_range_count(key) {
+    var count = 0;
+    var b;
+    for (b = 0; b < nbuckets; b += 64) {   // sampled scan
+        var cur = bucket[b];
+        while (cur != 0) {
+            var idx = cur - 1;
+            if (node_key[idx] >= key && node_key[idx] < key + 256) {
+                count += 1;
+            }
+            cur = node_next[idx];
+        }
+    }
+    return count;
+}
+
+func main() {
+    nbuckets = arg(0);
+    if (nbuckets < 64) { nbuckets = 64; }
+    if (nbuckets > 4096) { nbuckets = 4096; }
+    mask = nbuckets - 1;
+
+    var n = input_len() / 2;
+    var inserts = 0;
+    var hits = 0;
+    var misses = 0;
+    var deletes = 0;
+    var ranged = 0;
+    var i;
+    for (i = 0; i < n; i += 1) {
+        var opcode = input(2 * i);
+        var key = input(2 * i + 1);
+        if (opcode == 0) {
+            inserts += db_insert(key, i & 65535);
+        } else if (opcode == 1) {
+            if (db_lookup(key) >= 0) {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+        } else if (opcode == 2) {
+            deletes += db_delete(key);
+        } else {
+            ranged += db_range_count(key);
+        }
+    }
+
+    output(inserts);
+    output(hits);
+    output(misses);
+    output(deletes);
+    output(ranged);
+    return hits + inserts;
+}
+"""
+
+
+def _txn_stream(n: int, seed: int, key_space: int, insert_w: float,
+                lookup_w: float, delete_w: float, range_w: float,
+                skew: float) -> list[int]:
+    """Transaction stream; ``skew`` concentrates keys (Zipf-ish reuse)."""
+    generator = rng(seed)
+    weights = [insert_w, lookup_w, delete_w, range_w]
+    total = sum(weights)
+    probs = [w / total for w in weights]
+    data: list[int] = []
+    hot_keys = generator.integers(0, key_space, size=max(16, key_space // 50))
+    for _ in range(n):
+        opcode = int(generator.choice(4, p=probs))
+        if generator.random() < skew:
+            key = int(hot_keys[int(generator.integers(0, len(hot_keys)))])
+        else:
+            key = int(generator.integers(0, key_space))
+        data.extend((opcode, key))
+    return data
+
+
+def _make(name: str, seed: int, size: int, key_space: int, mix: tuple, skew: float, buckets: int):
+    def factory(scale: float) -> InputSet:
+        n = scaled(size, scale, minimum=256)
+        insert_w, lookup_w, delete_w, range_w = mix
+        return InputSet.make(
+            name,
+            data=_txn_stream(n, seed, key_space, insert_w, lookup_w, delete_w, range_w, skew),
+            args=[buckets],
+        )
+
+    return factory
+
+
+WORKLOAD = Workload(
+    name="vortexish",
+    description="chained-hash-table object database; key skew and op mix "
+    "drive chain-walk and dispatch branches",
+    source=SOURCE,
+    deep=False,
+    inputs={
+        "train": _make("train", seed=12, size=26000, key_space=4000,
+                       mix=(0.45, 0.40, 0.10, 0.05), skew=0.2, buckets=1024),
+        "ref": _make("ref", seed=24, size=26000, key_space=60000,
+                     mix=(0.25, 0.55, 0.18, 0.02), skew=0.7, buckets=512),
+    },
+)

@@ -1,0 +1,190 @@
+"""vprish — maze (Lee) router on a grid with obstacles (SPEC vpr, route).
+
+Routes a list of nets through a grid using breadth-first wavefront
+expansion around obstacles, then rips up the path cells it used so later
+nets see increasing congestion.  Obstacle density and net length
+distribution drive the expansion branches.
+"""
+
+from __future__ import annotations
+
+from repro.vm.inputs import InputSet
+from repro.workloads.base import Workload
+from repro.workloads.inputs import rng
+
+SOURCE = r"""
+// BFS maze routing.
+// input = [width, height, num_nets, (sx, sy, tx, ty)*num_nets, obstacles...]
+// where obstacles = remaining input words, each an (x*height+y) cell index.
+// arg(0) = congestion cost added per routed cell.
+
+global grid[16384];      // 0 free, 1 obstacle, >=2 congestion level
+global dist[16384];
+global queue[16384];
+global width = 0;
+global height = 0;
+
+func cell(x, y) {
+    return x * height + y;
+}
+
+// BFS from (sx,sy) to (tx,ty); returns path length or -1.
+func route_net(sx, sy, tx, ty, congestion_cost) {
+    var total = width * height;
+    var i;
+    for (i = 0; i < total; i += 1) { dist[i] = -1; }
+
+    var head = 0;
+    var tail = 0;
+    var start = cell(sx, sy);
+    var target = cell(tx, ty);
+    dist[start] = 0;
+    queue[tail] = start;
+    tail += 1;
+
+    while (head < tail) {
+        var c = queue[head];
+        head += 1;
+        if (c == target) {
+            break;
+        }
+        var x = c / height;
+        var y = c % height;
+        var d = dist[c] + 1;
+        // Expand the four neighbours; branch pattern depends on the
+        // obstacle map and current congestion.
+        if (x + 1 < width) {
+            var r = c + height;
+            if (grid[r] < 2 && dist[r] < 0) { dist[r] = d; queue[tail] = r; tail += 1; }
+        }
+        if (x > 0) {
+            var l = c - height;
+            if (grid[l] < 2 && dist[l] < 0) { dist[l] = d; queue[tail] = l; tail += 1; }
+        }
+        if (y + 1 < height) {
+            var u = c + 1;
+            if (grid[u] < 2 && dist[u] < 0) { dist[u] = d; queue[tail] = u; tail += 1; }
+        }
+        if (y > 0) {
+            var dn = c - 1;
+            if (grid[dn] < 2 && dist[dn] < 0) { dist[dn] = d; queue[tail] = dn; tail += 1; }
+        }
+    }
+
+    if (dist[target] < 0) {
+        return -1;                       // unroutable
+    }
+
+    // Walk the path backwards, marking congestion.
+    var c2 = target;
+    var steps = dist[target];
+    while (c2 != start) {
+        grid[c2] = grid[c2] + congestion_cost;
+        var want = dist[c2] - 1;
+        var x2 = c2 / height;
+        var y2 = c2 % height;
+        if (x2 + 1 < width && dist[c2 + height] == want) {
+            c2 = c2 + height;
+        } else if (x2 > 0 && dist[c2 - height] == want) {
+            c2 = c2 - height;
+        } else if (y2 + 1 < height && dist[c2 + 1] == want) {
+            c2 = c2 + 1;
+        } else {
+            c2 = c2 - 1;
+        }
+    }
+    return steps;
+}
+
+func main() {
+    width = input(0);
+    height = input(1);
+    var num_nets = input(2);
+    var congestion_cost = arg(0);
+
+    var total = width * height;
+    var i;
+    for (i = 0; i < total; i += 1) { grid[i] = 0; }
+
+    var obstacles_at = 3 + 4 * num_nets;
+    for (i = obstacles_at; i < input_len(); i += 1) {
+        var ob = input(i);
+        if (ob >= 0 && ob < total) {
+            grid[ob] = 2;                // hard obstacle: never routable
+        }
+    }
+
+    var routed = 0;
+    var failed = 0;
+    var wirelength = 0;
+    for (i = 0; i < num_nets; i += 1) {
+        var sx = input(3 + 4 * i) % width;
+        var sy = input(4 + 4 * i) % height;
+        var tx = input(5 + 4 * i) % width;
+        var ty = input(6 + 4 * i) % height;
+        if (grid[cell(sx, sy)] >= 2 || grid[cell(tx, ty)] >= 2) {
+            failed += 1;
+        } else {
+            var len = route_net(sx, sy, tx, ty, congestion_cost);
+            if (len < 0) {
+                failed += 1;
+            } else {
+                routed += 1;
+                wirelength += len;
+            }
+        }
+    }
+
+    output(routed);
+    output(failed);
+    output(wirelength);
+    return wirelength;
+}
+"""
+
+
+def _routing_input(seed: int, width: int, height: int, nets: int,
+                   obstacle_density: float, local_nets: float) -> list[int]:
+    generator = rng(seed)
+    data = [width, height, nets]
+    for _ in range(nets):
+        sx = int(generator.integers(0, width))
+        sy = int(generator.integers(0, height))
+        if generator.random() < local_nets:
+            tx = min(width - 1, sx + int(generator.integers(1, 6)))
+            ty = min(height - 1, sy + int(generator.integers(1, 6)))
+        else:
+            tx = int(generator.integers(0, width))
+            ty = int(generator.integers(0, height))
+        data.extend((sx, sy, tx, ty))
+    total = width * height
+    num_obstacles = int(total * obstacle_density)
+    cells = generator.choice(total, size=num_obstacles, replace=False)
+    data.extend(int(c) for c in cells)
+    return data
+
+
+def _make(name: str, seed: int, width: int, height: int, nets: int,
+          obstacle_density: float, local_nets: float, congestion: int):
+    def factory(scale: float) -> InputSet:
+        n = max(4, int(nets * scale))
+        return InputSet.make(
+            name,
+            data=_routing_input(seed, width, height, n, obstacle_density, local_nets),
+            args=[congestion],
+        )
+
+    return factory
+
+
+WORKLOAD = Workload(
+    name="vprish",
+    description="BFS maze router; obstacle density and net locality drive "
+    "wavefront expansion branches",
+    source=SOURCE,
+    deep=False,
+    inputs={
+        "train": _make("train", seed=9, width=48, height=48, nets=60, obstacle_density=0.10, local_nets=0.8, congestion=0),
+        "ref": _make("ref", seed=21, width=64, height=64, nets=70, obstacle_density=0.25, local_nets=0.3, congestion=0),
+    },
+)

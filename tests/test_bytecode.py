@@ -1,0 +1,142 @@
+"""Unit tests for the bytecode containers, builder, and disassembler."""
+
+import pytest
+
+from repro.errors import CodegenError
+from repro.bytecode.builder import FunctionBuilder
+from repro.bytecode.opcodes import BUILTIN_IDS, Opcode
+from repro.bytecode.program import disassemble
+from repro.lang import compile_source
+
+
+class TestBuilder:
+    def test_emit_returns_pc(self):
+        builder = FunctionBuilder("f", num_params=0)
+        assert builder.emit(Opcode.CONST, 1) == 0
+        assert builder.emit(Opcode.POP) == 1
+
+    def test_label_resolution(self):
+        builder = FunctionBuilder("f", num_params=0)
+        label = builder.new_label()
+        builder.emit_jump(label)
+        builder.emit(Opcode.CONST, 0)
+        builder.place(label)
+        builder.emit(Opcode.RET)
+        func = builder.finish(num_locals=0)
+        assert func.args[0] == 2
+
+    def test_branch_placeholder_site(self):
+        builder = FunctionBuilder("f", num_params=0)
+        label = builder.new_label()
+        builder.emit(Opcode.CONST, 1)
+        builder.emit_branch(Opcode.BR_FALSE, label, kind="if", line=3)
+        builder.place(label)
+        builder.emit(Opcode.CONST, 0)
+        builder.emit(Opcode.RET)
+        func = builder.finish(num_locals=0)
+        target, site = func.args[1]
+        assert target == 2 and site is None
+        assert builder.branches[0].kind == "if"
+        assert builder.branches[0].line == 3
+
+    def test_undefined_label_raises(self):
+        builder = FunctionBuilder("f", num_params=0)
+        builder.emit_jump(builder.new_label())
+        with pytest.raises(CodegenError, match="undefined label"):
+            builder.finish(num_locals=0)
+
+    def test_double_placement_raises(self):
+        builder = FunctionBuilder("f", num_params=0)
+        label = builder.new_label()
+        builder.place(label)
+        with pytest.raises(CodegenError, match="placed twice"):
+            builder.place(label)
+
+    def test_non_branch_opcode_rejected(self):
+        builder = FunctionBuilder("f", num_params=0)
+        with pytest.raises(CodegenError, match="non-branch"):
+            builder.emit_branch(Opcode.JUMP, builder.new_label(), kind="if")
+
+
+class TestSiteTable:
+    SOURCE = """
+    func helper(x) {
+        if (x > 0) { return 1; }
+        return 0;
+    }
+    func main() {
+        var i;
+        for (i = 0; i < 3 && helper(i); i += 1) { }
+        return i;
+    }
+    """
+
+    def test_sites_numbered_densely(self):
+        program = compile_source(self.SOURCE)
+        ids = [site.site_id for site in program.sites]
+        assert ids == list(range(len(ids)))
+
+    def test_sites_match_branch_instructions(self):
+        program = compile_source(self.SOURCE)
+        found = []
+        for func in program.functions:
+            for pc, op in enumerate(func.ops):
+                if op in (Opcode.BR_FALSE, Opcode.BR_TRUE):
+                    target, site_id = func.args[pc]
+                    found.append((func.name, pc, site_id))
+        table = [(s.function, s.pc, s.site_id) for s in program.sites]
+        assert found == table
+
+    def test_site_kinds(self):
+        program = compile_source(self.SOURCE)
+        kinds = {site.kind for site in program.sites}
+        assert "if" in kinds and "loop" in kinds
+
+    def test_site_by_label_roundtrip(self):
+        program = compile_source(self.SOURCE)
+        site = program.sites[0]
+        assert program.site_by_label(site.label()) is site
+
+    def test_site_by_label_missing(self):
+        program = compile_source(self.SOURCE)
+        with pytest.raises(KeyError):
+            program.site_by_label("nope+0@L0")
+
+    def test_sites_in_function(self):
+        program = compile_source(self.SOURCE)
+        helper_sites = program.sites_in_function("helper")
+        assert helper_sites and all(s.function == "helper" for s in helper_sites)
+
+    def test_branch_args_carry_site_ids(self):
+        program = compile_source(self.SOURCE)
+        for func in program.functions:
+            for pc, op in enumerate(func.ops):
+                if op in (Opcode.BR_FALSE, Opcode.BR_TRUE):
+                    _target, site_id = func.args[pc]
+                    assert isinstance(site_id, int)
+
+
+class TestDisassembler:
+    def test_contains_function_header(self):
+        program = compile_source("func main() { return 1 + 2; }")
+        text = disassemble(program)
+        assert "func main" in text
+
+    def test_single_function_filter(self):
+        program = compile_source("func f() { } func main() { }")
+        text = disassemble(program, function="f")
+        assert "func f" in text and "func main" not in text
+
+    def test_shows_branch_targets_and_sites(self):
+        program = compile_source("func main() { if (arg(0)) { return 1; } return 0; }")
+        text = disassemble(program)
+        assert "BR_FALSE" in text and "site 0" in text
+
+    def test_builtin_names_rendered(self):
+        program = compile_source("func main() { output(1); return 0; }")
+        text = disassemble(program)
+        assert "output" in text
+
+    def test_builtin_ids_are_dense_and_stable(self):
+        ids = sorted(BUILTIN_IDS.values())
+        assert ids == list(range(len(ids)))

@@ -1,0 +1,202 @@
+"""Tests for CFG construction, dominators, loops, and region shapes."""
+
+import pytest
+
+from repro.bytecode.cfg import (
+    analyze_program,
+    build_cfg,
+    classify_branch_region,
+    convertible_branches,
+)
+from repro.lang import compile_source
+from repro.workloads import all_workloads
+
+
+def cfg_of(source, function="main"):
+    program = compile_source(source)
+    func = program.functions[program.func_index[function]]
+    return program, build_cfg(func)
+
+
+class TestBlocks:
+    def test_straight_line_single_reachable_block(self):
+        _program, cfg = cfg_of("func main() { var x = 1; x += 2; return x; }")
+        # The compiler emits an implicit `return 0` epilogue, unreachable
+        # here; exactly one block is reachable.
+        reachable = [b for b in cfg.blocks if b.index == 0 or b.predecessors]
+        assert len(reachable) == 1
+        assert reachable[0].successors == []
+
+    def test_blocks_partition_instructions(self):
+        source = """
+        func main() {
+            var x = arg(0);
+            if (x > 0) { x += 1; } else { x -= 1; }
+            while (x > 0) { x -= 2; }
+            return x;
+        }
+        """
+        _program, cfg = cfg_of(source)
+        covered = sorted(pc for block in cfg.blocks for pc in range(block.start, block.end))
+        assert covered == list(range(len(cfg.function.ops)))
+
+    def test_edges_are_symmetric(self):
+        source = "func main() { var i; for (i = 0; i < 5; i += 1) { if (i % 2) { output(i); } } return i; }"
+        _program, cfg = cfg_of(source)
+        for block in cfg.blocks:
+            for successor in block.successors:
+                assert block.index in cfg.blocks[successor].predecessors
+
+
+class TestDominators:
+    def test_entry_dominates_all_reachable(self):
+        source = """
+        func main() {
+            var x = arg(0);
+            if (x) { x += 1; } else { x += 2; }
+            return x;
+        }
+        """
+        _program, cfg = cfg_of(source)
+        for block in cfg.blocks:
+            if block.predecessors or block.index == 0:
+                assert cfg.dominates(0, block.index)
+
+    def test_branch_block_dominates_join(self):
+        source = """
+        func main() {
+            var x = arg(0);
+            if (x) { x += 1; }
+            output(x);
+            return x;
+        }
+        """
+        _program, cfg = cfg_of(source)
+        # The block containing the branch dominates the join block (the
+        # block with two predecessors, where control re-converges).
+        branch_block = cfg.block_at(cfg.function.ops.index(45))  # BR_FALSE pc
+        joins = [b for b in cfg.blocks if len(b.predecessors) == 2]
+        assert joins
+        assert cfg.dominates(branch_block.index, joins[0].index)
+
+    def test_sides_do_not_dominate_join(self):
+        source = """
+        func main() {
+            var x = arg(0);
+            if (x) { x += 1; } else { x -= 1; }
+            return x;
+        }
+        """
+        _program, cfg = cfg_of(source)
+        # Find the diamond join: a block with two predecessors.
+        joins = [b for b in cfg.blocks if len(b.predecessors) == 2]
+        assert joins
+        join = joins[0]
+        for side in join.predecessors:
+            assert not cfg.dominates(side, join.index) or side == join.index
+
+
+class TestLoops:
+    def test_while_loop_detected(self):
+        source = "func main() { var i = 0; while (i < 9) { i += 1; } return i; }"
+        _program, cfg = cfg_of(source)
+        assert cfg.loop_headers
+
+    def test_loop_body_membership(self):
+        source = "func main() { var i = 0; while (i < 9) { i += 1; } return i; }"
+        _program, cfg = cfg_of(source)
+        header = next(iter(cfg.loop_headers))
+        body = cfg.loop_blocks[header]
+        assert header in body and len(body) >= 2
+
+    def test_nested_loops_two_headers(self):
+        source = """
+        func main() {
+            var s = 0;
+            var i; var j;
+            for (i = 0; i < 3; i += 1) {
+                for (j = 0; j < 3; j += 1) { s += 1; }
+            }
+            return s;
+        }
+        """
+        _program, cfg = cfg_of(source)
+        assert len(cfg.loop_headers) == 2
+
+    def test_straight_line_has_no_loops(self):
+        _program, cfg = cfg_of("func main() { return 1; }")
+        assert not cfg.loop_headers
+
+
+class TestRegions:
+    def find_region(self, source, line_marker=None):
+        program = compile_source(source)
+        regions = analyze_program(program)
+        return program, regions
+
+    def test_if_without_else_is_hammock(self):
+        source = """
+        func main() {
+            var x = arg(0);
+            if (x > 0) { x += 5; }
+            return x;
+        }
+        """
+        program, regions = self.find_region(source)
+        shapes = [r.shape for r in regions.values()]
+        assert "hammock" in shapes
+
+    def test_if_else_is_diamond(self):
+        source = """
+        func main() {
+            var x = arg(0);
+            if (x > 0) { x += 5; } else { x -= 5; }
+            return x;
+        }
+        """
+        program, regions = self.find_region(source)
+        shapes = [r.shape for r in regions.values()]
+        assert "diamond" in shapes
+
+    def test_loop_branch_is_other(self):
+        source = "func main() { var i = 0; while (i < 4) { i += 1; } return i; }"
+        program, regions = self.find_region(source)
+        loop_sites = [s.site_id for s in program.sites if s.kind == "loop"]
+        assert all(regions[s].shape == "other" for s in loop_sites)
+
+    def test_early_return_arm_is_other(self):
+        source = """
+        func main() {
+            var x = arg(0);
+            if (x > 0) { return 1; }
+            return 0;
+        }
+        """
+        program, regions = self.find_region(source)
+        # The then-arm ends in RET: no join, not convertible.
+        assert all(r.shape == "other" for r in regions.values())
+
+    def test_convertible_branches_subset(self):
+        source = """
+        func main() {
+            var x = arg(0);
+            if (x > 0) { x += 1; }               // hammock
+            if (x > 5) { x += 2; } else { x -= 2; }  // diamond
+            while (x > 0) { x -= 1; }            // loop: other
+            return x;
+        }
+        """
+        program = compile_source(source)
+        convertible = convertible_branches(program)
+        assert len(convertible) == 2
+        loop_sites = {s.site_id for s in program.sites if s.kind == "loop"}
+        assert not (convertible & loop_sites)
+
+    def test_workload_programs_analyzable(self):
+        for workload in all_workloads():
+            program = workload.program()
+            regions = analyze_program(program)
+            assert set(regions) == {s.site_id for s in program.sites}
+            # Every workload has at least one if-convertible branch.
+            shapes = {r.shape for r in regions.values()}
+            assert shapes & {"hammock", "diamond"}, workload.name

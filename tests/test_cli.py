@@ -1,0 +1,82 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_2DPROF_CACHE", str(tmp_path / "cache"))
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_option(self):
+        args = build_parser().parse_args(["--scale", "0.5", "list"])
+        assert args.scale == 0.5
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        assert "gzipish" in out and "eonish" in out
+
+    def test_profile(self, capsys):
+        code, out = run_cli(capsys, "--scale", "0.03", "profile", "vortexish")
+        assert code == 0
+        assert "predicted input-dependent" in out
+
+    def test_evaluate(self, capsys):
+        code, out = run_cli(capsys, "--scale", "0.03", "evaluate", "vortexish")
+        assert code == 0
+        assert "COV-dep" in out and "ACC-indep" in out
+
+    def test_fig2_needs_no_runs(self, capsys):
+        code, out = run_cli(capsys, "fig", "2")
+        assert code == 0
+        assert "predication" in out
+
+    def test_fig_unknown(self, capsys):
+        code = main(["fig", "99"])
+        assert code == 2
+
+    def test_series(self, capsys):
+        code, out = run_cli(capsys, "--scale", "0.05", "series", "vortexish")
+        assert code == 0
+        assert "mean=" in out
+
+    def test_overhead(self, capsys):
+        code, out = run_cli(capsys, "--scale", "0.02", "overhead", "mcfish")
+        assert code == 0
+        assert "2d+gshare" in out
+
+
+class TestExtensionCommands:
+    def test_whatif(self, capsys):
+        code, out = run_cli(capsys, "--scale", "0.03", "whatif", "vortexish")
+        assert code == 0
+        assert "aggregate" in out and "2d-aware" in out
+
+    def test_phases(self, capsys):
+        code, out = run_cli(capsys, "--scale", "0.05", "phases", "vortexish")
+        assert code == 0
+        assert "phase shapes" in out
+
+    def test_report(self, capsys, tmp_path):
+        out = tmp_path / "r.md"
+        code, text = run_cli(capsys, "--scale", "0.03", "report", "--out", str(out))
+        assert code == 0
+        content = out.read_text()
+        assert "Figure 10" in content and "Figure 16" not in content
+        assert "Table 4" in content

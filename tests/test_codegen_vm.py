@@ -1,0 +1,340 @@
+"""End-to-end language tests: compile Minic and check execution semantics.
+
+These exercise codegen + VM together, statement by statement and operator
+by operator; the VM is the ground truth for all workload behaviour, so
+this file is deliberately exhaustive.
+"""
+
+import pytest
+
+from repro.errors import VMRuntimeError, FuelExhausted
+from repro.lang import compile_source
+from repro.vm import InputSet, Machine
+
+
+def run(source, data=(), args=(), fuel=10_000_000):
+    program = compile_source(source)
+    machine = Machine(program, fuel=fuel)
+    return machine.run(InputSet.make("t", data=data, args=args))
+
+
+def result_of(expr, pre=""):
+    return run(f"func main() {{ {pre} return {expr}; }}").return_value
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("expr,expected", [
+        ("1 + 2", 3), ("5 - 9", -4), ("6 * 7", 42),
+        ("7 / 2", 3), ("-7 / 2", -3), ("7 / -2", -3), ("-7 / -2", 3),
+        ("7 % 3", 1), ("-7 % 3", -1), ("7 % -3", 1),
+        ("12 & 10", 8), ("12 | 10", 14), ("12 ^ 10", 6),
+        ("1 << 10", 1024), ("1024 >> 3", 128),
+        ("-5", -5), ("~0", -1), ("!0", 1), ("!42", 0),
+        ("3 < 4", 1), ("4 <= 4", 1), ("5 > 5", 0), ("5 >= 5", 1),
+        ("3 == 3", 1), ("3 != 3", 0),
+    ])
+    def test_expression(self, expr, expected):
+        assert result_of(expr) == expected
+
+    def test_precedence_evaluation(self):
+        assert result_of("2 + 3 * 4 - 1") == 13
+        assert result_of("(2 + 3) * (4 - 1)") == 15
+
+    def test_shift_count_masked(self):
+        # Shift counts are masked to 6 bits like 64-bit hardware.
+        assert result_of("1 << 64") == 1
+        assert result_of("1 << 65") == 2
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(VMRuntimeError, match="division by zero"):
+            run("func main() { var z = 0; return 1 / z; }")
+
+    def test_modulo_by_zero_raises(self):
+        with pytest.raises(VMRuntimeError, match="modulo by zero"):
+            run("func main() { var z = 0; return 1 % z; }")
+
+
+class TestShortCircuit:
+    def test_and_result_values(self):
+        assert result_of("2 && 3") == 1
+        assert result_of("0 && 3") == 0
+        assert result_of("2 && 0") == 0
+
+    def test_or_result_values(self):
+        assert result_of("0 || 0") == 0
+        assert result_of("0 || 9") == 1
+        assert result_of("5 || 0") == 1
+
+    def test_and_short_circuits_side_effects(self):
+        source = """
+        global hits = 0;
+        func bump() { hits += 1; return 1; }
+        func main() {
+            var r = 0 && bump();
+            return hits;
+        }
+        """
+        assert run(source).return_value == 0
+
+    def test_or_short_circuits_side_effects(self):
+        source = """
+        global hits = 0;
+        func bump() { hits += 1; return 1; }
+        func main() {
+            var r = 1 || bump();
+            return hits;
+        }
+        """
+        assert run(source).return_value == 0
+
+    def test_rhs_evaluated_when_needed(self):
+        source = """
+        global hits = 0;
+        func bump() { hits += 1; return 0; }
+        func main() {
+            var r = 1 && bump();
+            return hits * 10 + r;
+        }
+        """
+        assert run(source).return_value == 10
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        source = """
+        func classify(x) {
+            if (x < 0) { return -1; }
+            else if (x == 0) { return 0; }
+            else { return 1; }
+        }
+        func main() { return classify(arg(0)); }
+        """
+        program = compile_source(source)
+        machine = Machine(program)
+        for value, expected in [(-5, -1), (0, 0), (7, 1)]:
+            assert machine.run(InputSet.make("t", args=[value])).return_value == expected
+
+    def test_while_loop(self):
+        assert result_of("s", pre="var s = 0; var i = 0; while (i < 5) { s += i; i += 1; }") == 10
+
+    def test_while_false_never_runs(self):
+        assert result_of("s", pre="var s = 7; var c = 0; while (c) { s = 0; }") == 7
+
+    def test_do_while_runs_at_least_once(self):
+        assert result_of("s", pre="var s = 0; var c = 0; do { s += 1; } while (c);") == 1
+
+    def test_for_loop_sum(self):
+        assert result_of("s", pre="var s = 0; var i; for (i = 1; i <= 4; i += 1) { s += i; }") == 10
+
+    def test_break(self):
+        pre = "var s = 0; var i; for (i = 0; i < 100; i += 1) { if (i == 5) { break; } s += 1; }"
+        assert result_of("s", pre=pre) == 5
+
+    def test_continue_in_for_reaches_step(self):
+        pre = "var s = 0; var i; for (i = 0; i < 6; i += 1) { if (i % 2) { continue; } s += i; }"
+        assert result_of("s", pre=pre) == 6
+
+    def test_continue_in_while(self):
+        pre = ("var s = 0; var i = 0; while (i < 6) { i += 1; "
+               "if (i % 2 == 0) { continue; } s += i; }")
+        assert result_of("s", pre=pre) == 9
+
+    def test_break_in_do_while(self):
+        pre = "var s = 0; do { s += 1; if (s == 3) { break; } } while (1);"
+        assert result_of("s", pre=pre) == 3
+
+    def test_nested_loops_break_inner_only(self):
+        pre = """
+        var total = 0;
+        var i; var j;
+        for (i = 0; i < 3; i += 1) {
+            for (j = 0; j < 10; j += 1) {
+                if (j == 2) { break; }
+                total += 1;
+            }
+        }
+        """
+        assert result_of("total", pre=pre) == 6
+
+    def test_infinite_loop_hits_fuel(self):
+        with pytest.raises(FuelExhausted):
+            run("func main() { while (1) { } return 0; }", fuel=10_000)
+
+
+class TestFunctions:
+    def test_recursion_fibonacci(self):
+        source = """
+        func fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        func main() { return fib(12); }
+        """
+        assert run(source).return_value == 144
+
+    def test_mutual_recursion(self):
+        source = """
+        func is_even(n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+        func is_odd(n) { if (n == 0) { return 0; } return is_even(n - 1); }
+        func main() { return is_even(10) * 10 + is_odd(7); }
+        """
+        assert run(source).return_value == 11
+
+    def test_falls_off_end_returns_zero(self):
+        assert run("func f() { } func main() { return f() + 5; }").return_value == 5
+
+    def test_argument_evaluation_order(self):
+        source = """
+        global log = 0;
+        func note(tag) { log = log * 10 + tag; return tag; }
+        func three(a, b, c) { return log; }
+        func main() { return three(note(1), note(2), note(3)); }
+        """
+        assert run(source).return_value == 123
+
+    def test_deep_recursion_guard(self):
+        source = """
+        func down(n) { return down(n + 1); }
+        func main() { return down(0); }
+        """
+        with pytest.raises(VMRuntimeError, match="stack overflow"):
+            run(source)
+
+
+class TestArrays:
+    def test_global_array_read_write(self):
+        source = """
+        global a[4];
+        func main() {
+            a[0] = 10; a[3] = 40;
+            return a[0] + a[1] + a[3];
+        }
+        """
+        assert run(source).return_value == 50
+
+    def test_local_array(self):
+        assert result_of("b[1]", pre="var b[3]; b[1] = 9;") == 9
+
+    def test_dynamic_array_builtin(self):
+        assert result_of("len(a) + a[5]", pre="var a = array(10); a[5] = 3;") == 13
+
+    def test_arrays_are_references(self):
+        source = """
+        func fill(arr, v) { arr[0] = v; return 0; }
+        func main() { var a[2]; fill(a, 42); return a[0]; }
+        """
+        assert run(source).return_value == 42
+
+    def test_compound_assign_on_element(self):
+        assert result_of("a[1]", pre="var a[3]; a[1] = 5; a[1] += 7;") == 12
+
+    def test_compound_index_evaluated_once_semantics(self):
+        # DUP2-based compound assignment must not double-apply side effects
+        # of the value expression.
+        source = """
+        global a[4];
+        global calls = 0;
+        func idx() { calls += 1; return 2; }
+        func main() { a[idx()] += 3; return calls * 100 + a[2]; }
+        """
+        # The index expression is evaluated once thanks to DUP2.
+        assert run(source).return_value == 103
+
+    def test_out_of_bounds_read(self):
+        with pytest.raises(VMRuntimeError, match="out of range"):
+            run("global a[4]; func main() { return a[4]; }")
+
+    def test_negative_index(self):
+        with pytest.raises(VMRuntimeError, match="out of range"):
+            run("global a[4]; func main() { var i = -1; return a[i]; }")
+
+    def test_negative_array_size(self):
+        with pytest.raises(VMRuntimeError, match="negative array size"):
+            run("func main() { var n = -3; var a = array(n); return 0; }")
+
+
+class TestBuiltins:
+    def test_input_and_input_len(self):
+        source = """
+        func main() {
+            var s = 0;
+            var i;
+            for (i = 0; i < input_len(); i += 1) { s += input(i); }
+            return s;
+        }
+        """
+        assert run(source, data=[1, 2, 3, 4]).return_value == 10
+
+    def test_input_out_of_range(self):
+        with pytest.raises(VMRuntimeError, match="input index"):
+            run("func main() { return input(0); }")
+
+    def test_arg_and_arg_count(self):
+        assert run("func main() { return arg(0) * 10 + arg_count(); }",
+                   args=[7, 9]).return_value == 72
+
+    def test_arg_out_of_range(self):
+        with pytest.raises(VMRuntimeError, match="arg index"):
+            run("func main() { return arg(2); }", args=[1])
+
+    def test_output_stream(self):
+        result = run("func main() { output(5); output(6); return 0; }")
+        assert result.output == [5, 6]
+
+    @pytest.mark.parametrize("expr,expected", [
+        ("abs(-9)", 9), ("abs(9)", 9), ("abs(0)", 0),
+        ("min(3, 8)", 3), ("min(8, 3)", 3),
+        ("max(3, 8)", 8), ("max(-1, -5)", -1),
+    ])
+    def test_math_builtins(self, expr, expected):
+        assert result_of(expr) == expected
+
+    def test_rng_deterministic(self):
+        source = """
+        func main() {
+            srand(99);
+            var a = rand();
+            srand(99);
+            var b = rand();
+            return a == b;
+        }
+        """
+        assert run(source).return_value == 1
+
+    def test_rng_advances(self):
+        source = "func main() { srand(1); return rand() != rand(); }"
+        assert run(source).return_value == 1
+
+    def test_len_of_non_array(self):
+        with pytest.raises(VMRuntimeError, match="non-array"):
+            run("func main() { var x = 3; return len(x); }")
+
+
+class TestRunResultAccounting:
+    def test_instruction_and_branch_counts_positive(self, counter_program):
+        machine = Machine(counter_program)
+        result = machine.run(InputSet.make("t", args=[30]))
+        assert result.instructions > 0
+        assert result.branches > 0
+
+    def test_branch_count_matches_trace_mode(self, counter_program):
+        machine = Machine(counter_program)
+        plain = machine.run(InputSet.make("t", args=[30]))
+        traced = machine.run(InputSet.make("t", args=[30]), mode="trace")
+        assert plain.branches == traced.branches == len(traced.packed_trace)
+
+    def test_globals_reset_between_runs(self):
+        program = compile_source("global g = 5; func main() { g += 1; return g; }")
+        machine = Machine(program)
+        assert machine.run(InputSet.make("t")).return_value == 6
+        assert machine.run(InputSet.make("t")).return_value == 6
+
+    def test_callback_mode_requires_hook(self, counter_program):
+        machine = Machine(counter_program)
+        with pytest.raises(ValueError, match="hook"):
+            machine.run(InputSet.make("t", args=[1]), mode="callback")
+
+    def test_unknown_mode_rejected(self, counter_program):
+        machine = Machine(counter_program)
+        with pytest.raises(ValueError, match="unknown run mode"):
+            machine.run(InputSet.make("t", args=[1]), mode="bogus")

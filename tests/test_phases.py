@@ -1,0 +1,92 @@
+"""Tests for the phase-shape classifier."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.phases import PhaseShape, classify_report, classify_series
+from repro.core.profiler2d import ProfilerConfig, profile_trace
+from repro.predictors import make_predictor, simulate
+from repro.trace.synthetic import phased_trace
+
+
+def series(values):
+    return np.array(values, dtype=np.float64)
+
+
+class TestClassifySeries:
+    def test_flat(self):
+        verdict = classify_series(series([0.8] * 40))
+        assert verdict.shape is PhaseShape.FLAT
+
+    def test_flat_with_small_noise(self):
+        rng = np.random.default_rng(1)
+        verdict = classify_series(series(0.8 + rng.normal(0, 0.005, 60)))
+        assert verdict.shape is PhaseShape.FLAT
+
+    def test_level_shift(self):
+        verdict = classify_series(series([0.6] * 20 + [0.95] * 20))
+        assert verdict.shape is PhaseShape.LEVEL_SHIFT
+        assert 18 <= verdict.change_point <= 22
+        assert verdict.level_before < verdict.level_after
+
+    def test_level_shift_downward(self):
+        verdict = classify_series(series([0.95] * 25 + [0.5] * 15))
+        assert verdict.shape is PhaseShape.LEVEL_SHIFT
+        assert verdict.level_before > verdict.level_after
+
+    def test_oscillation(self):
+        verdict = classify_series(series(([0.6] * 4 + [0.95] * 4) * 8))
+        assert verdict.shape is PhaseShape.OSCILLATING
+        assert verdict.crossings >= 10
+
+    def test_drift(self):
+        rng = np.random.default_rng(2)
+        values = np.linspace(0.5, 0.95, 60) + rng.normal(0, 0.01, 60)
+        verdict = classify_series(series(values))
+        assert verdict.shape in (PhaseShape.DRIFT, PhaseShape.LEVEL_SHIFT)
+        # A clean steep drift should be recognised as DRIFT specifically.
+        steep = classify_series(series(np.linspace(0.4, 0.95, 40)))
+        assert steep.shape in (PhaseShape.DRIFT, PhaseShape.LEVEL_SHIFT)
+
+    def test_nan_entries_ignored(self):
+        values = [0.6] * 20 + [float("nan")] * 5 + [0.95] * 20
+        verdict = classify_series(series(values))
+        assert verdict.shape is PhaseShape.LEVEL_SHIFT
+
+    def test_short_series_flat(self):
+        verdict = classify_series(series([0.1, 0.9]))
+        assert verdict.shape is PhaseShape.FLAT
+
+    def test_irregular_noise(self):
+        rng = np.random.default_rng(3)
+        verdict = classify_series(series(rng.uniform(0.3, 1.0, 50)))
+        assert verdict.shape in (PhaseShape.OSCILLATING, PhaseShape.IRREGULAR)
+
+
+class TestClassifyReport:
+    def test_end_to_end_on_synthetic(self):
+        trace, stationary, phased = phased_trace(4, 3, 20_000, seed=51)
+        sim = simulate(make_predictor("bimodal"), trace)
+        report = profile_trace(trace, simulation=sim,
+                               config=ProfilerConfig(keep_series=True))
+        verdicts = classify_report(report)
+        # Two-phase sites must not be classified FLAT.
+        for site in phased:
+            assert verdicts[site].shape is not PhaseShape.FLAT
+        # Two-phase sites are single level shifts by construction.
+        shifts = sum(1 for site in phased
+                     if verdicts[site].shape is PhaseShape.LEVEL_SHIFT)
+        assert shifts >= len(phased) - 1
+
+    def test_requires_series(self):
+        trace, _s, _p = phased_trace(2, 1, 4000, seed=52)
+        report = profile_trace(trace, predictor=make_predictor("bimodal"))
+        with pytest.raises(ValueError, match="keep_series"):
+            classify_report(report)
+
+    def test_site_filter(self):
+        trace, _s, _p = phased_trace(3, 1, 5000, seed=53)
+        report = profile_trace(trace, predictor=make_predictor("bimodal"),
+                               config=ProfilerConfig(keep_series=True))
+        verdicts = classify_report(report, sites=[0, 1])
+        assert set(verdicts) == {0, 1}

@@ -1,0 +1,119 @@
+"""Tests for the predication cost model (paper Section 2.1, Figure 2)."""
+
+import pytest
+
+from repro.core.predication import (
+    AdvisorDecision,
+    BranchProfileSummary,
+    PredicationAdvisor,
+    PredicationCosts,
+    branch_cost,
+    cost_sweep,
+    crossover_misprediction_rate,
+    predicated_cost,
+    should_predicate,
+)
+
+
+class TestCostModel:
+    def test_paper_parameters_crossover_near_7_percent(self):
+        # The paper: penalty 30, exec_T = exec_N = 3, exec_pred = 5 ->
+        # crossover at (5-3)/30 = 6.67%.
+        costs = PredicationCosts()
+        crossover = crossover_misprediction_rate(costs)
+        assert crossover == pytest.approx(2 / 30)
+
+    def test_paper_examples(self):
+        costs = PredicationCosts()
+        # 9% misprediction: predicated code wins (paper Section 2.1.1).
+        assert should_predicate(costs, taken_rate=0.5, misprediction_rate=0.09)
+        # 4% misprediction: branch code wins.
+        assert not should_predicate(costs, taken_rate=0.5, misprediction_rate=0.04)
+
+    def test_branch_cost_formula(self):
+        costs = PredicationCosts(misp_penalty=10, exec_taken=2, exec_not_taken=4,
+                                 exec_predicated=5)
+        cost = branch_cost(costs, taken_rate=0.25, misprediction_rate=0.1)
+        assert cost == pytest.approx(2 * 0.25 + 4 * 0.75 + 10 * 0.1)
+
+    def test_predicated_cost_constant(self):
+        costs = PredicationCosts(exec_predicated=7)
+        assert predicated_cost(costs) == 7
+        for rate in (0.0, 0.1, 0.5):
+            assert predicated_cost(costs) == 7  # Independent of rates.
+
+    def test_asymmetric_paths_shift_crossover(self):
+        costs = PredicationCosts(exec_taken=1, exec_not_taken=9, exec_predicated=6)
+        # Mostly-taken branch: base cost lower, crossover higher.
+        taken_heavy = crossover_misprediction_rate(costs, taken_rate=0.9)
+        not_taken_heavy = crossover_misprediction_rate(costs, taken_rate=0.1)
+        assert taken_heavy > not_taken_heavy
+
+    def test_crossover_zero_when_predication_dominates(self):
+        costs = PredicationCosts(exec_taken=5, exec_not_taken=5, exec_predicated=4)
+        assert crossover_misprediction_rate(costs) == 0.0
+
+    def test_cost_sweep_rows(self):
+        rows = cost_sweep(PredicationCosts(), [0.0, 0.1])
+        assert rows[0][1] == pytest.approx(3.0)
+        assert rows[1][1] == pytest.approx(6.0)
+        assert rows[0][2] == rows[1][2] == 5.0
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            branch_cost(PredicationCosts(), taken_rate=1.5, misprediction_rate=0.0)
+        with pytest.raises(ValueError):
+            branch_cost(PredicationCosts(), taken_rate=0.5, misprediction_rate=-0.1)
+
+    def test_cost_validation(self):
+        with pytest.raises(ValueError):
+            PredicationCosts(misp_penalty=0)
+        with pytest.raises(ValueError):
+            PredicationCosts(exec_taken=-1)
+
+
+class TestAdvisor:
+    def advisor(self, guard_band=0.03):
+        return PredicationAdvisor(guard_band=guard_band)
+
+    def profile(self, misprediction_rate, input_dependent, site=0):
+        return BranchProfileSummary(
+            site_id=site,
+            taken_rate=0.5,
+            misprediction_rate=misprediction_rate,
+            input_dependent=input_dependent,
+        )
+
+    def test_easy_branch_stays_branch(self):
+        decision = self.advisor().decide(self.profile(0.01, input_dependent=False))
+        assert decision is AdvisorDecision.KEEP_BRANCH
+
+    def test_hard_branch_predicated(self):
+        decision = self.advisor().decide(self.profile(0.20, input_dependent=False))
+        assert decision is AdvisorDecision.PREDICATE
+
+    def test_input_dependent_near_crossover_gets_wish_branch(self):
+        # Crossover is ~6.7%; 7% is within the 3% guard band.
+        decision = self.advisor().decide(self.profile(0.07, input_dependent=True))
+        assert decision is AdvisorDecision.WISH_BRANCH
+
+    def test_input_dependent_far_from_crossover_decided_statically(self):
+        decision = self.advisor().decide(self.profile(0.30, input_dependent=True))
+        assert decision is AdvisorDecision.PREDICATE
+        decision = self.advisor().decide(self.profile(0.005, input_dependent=True))
+        assert decision is AdvisorDecision.KEEP_BRANCH
+
+    def test_input_independent_near_crossover_decided_statically(self):
+        # The paper: correctly identified input-independent -> safe to
+        # predicate even near the crossover.
+        decision = self.advisor().decide(self.profile(0.08, input_dependent=False))
+        assert decision is AdvisorDecision.PREDICATE
+
+    def test_decide_all(self):
+        profiles = [self.profile(0.2, False, site=1), self.profile(0.07, True, site=2)]
+        decisions = self.advisor().decide_all(profiles)
+        assert decisions == {1: AdvisorDecision.PREDICATE, 2: AdvisorDecision.WISH_BRANCH}
+
+    def test_negative_guard_band_rejected(self):
+        with pytest.raises(ValueError):
+            PredicationAdvisor(guard_band=-0.1)

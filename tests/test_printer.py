@@ -1,0 +1,153 @@
+"""Tests for the AST pretty-printer, including parse/print round-trips."""
+
+import pytest
+
+from repro.lang import ast, compile_source
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.printer import print_expr, print_program
+from repro.vm import InputSet, Machine
+
+
+def parse_source(source):
+    return parse(tokenize(source))
+
+
+def ast_equal(a, b) -> bool:
+    """Structural AST equality ignoring source positions."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, list):
+        return len(a) == len(b) and all(ast_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, ast.Node):
+        for field in vars(a):
+            if field in ("line", "column"):
+                continue
+            if not ast_equal(getattr(a, field), getattr(b, field, None)):
+                return False
+        return True
+    return a == b
+
+
+def roundtrip(source):
+    """Check the printer's normal form is a fixed point of parse/print.
+
+    The printer normalizes unbraced if/loop bodies into blocks, so the raw
+    AST of the original source may legitimately differ; stability of the
+    printed form (print . parse . print == print) is the guarantee, and it
+    implies the normalized ASTs agree structurally.
+    """
+    tree = parse_source(source)
+    printed = print_program(tree)
+    reparsed = parse_source(printed)
+    printed_again = print_program(reparsed)
+    assert printed == printed_again, printed
+    assert ast_equal(reparsed, parse_source(printed_again))
+    return printed
+
+
+class TestExpressions:
+    @pytest.mark.parametrize("expr", [
+        "1 + 2 * 3",
+        "(1 + 2) * 3",
+        "a && b || !c",
+        "x[i + 1]",
+        "f(1, g(x), a[0])",
+        "-x + ~y",
+        "a << 2 >> 1",
+        "a < b == c",
+    ])
+    def test_expression_roundtrip(self, expr):
+        roundtrip(f"func main() {{ var a; var b; var c; var x; var y; var i;"
+                  f" var q[4]; return 0; }}"
+                  if False else
+                  f"global a; global b; global c; global x; global y; global i;"
+                  f" global q[4];"
+                  f" func f(p) {{ return p; }} func g(p) {{ return p; }}"
+                  f" func main() {{ return {expr.replace('x[', 'q[').replace('a[', 'q[')}; }}")
+
+    def test_negative_literal_printable(self):
+        expr = ast.IntLiteral(line=1, value=-5)
+        text = print_expr(expr)
+        assert "5" in text
+
+
+class TestStatements:
+    def test_full_program_roundtrip(self):
+        roundtrip("""
+        global total = 0;
+        global table[16];
+
+        func helper(a, b) {
+            if (a > b) { return a - b; }
+            else if (a < b) { return b - a; }
+            return 0;
+        }
+
+        func main() {
+            var i;
+            for (i = 0; i < 10; i += 1) {
+                if (i % 2 == 0 && i > 2) {
+                    total += helper(i, 3);
+                } else {
+                    total -= 1;
+                }
+            }
+            while (total > 100) { total /= 2; }
+            do { total += 1; } while (total < 0);
+            var j = 0;
+            for (var k = 0; k < 4; k += 1) {
+                j += k;
+                if (j > 5) { break; }
+                continue;
+            }
+            table[total % 16] = j;
+            output(total);
+            return total;
+        }
+        """)
+
+    def test_unbraced_bodies_normalized(self):
+        printed = roundtrip("func main() { if (1) return 2; else return 3; }")
+        assert "{" in printed
+
+    def test_empty_for_clauses(self):
+        roundtrip("func main() { for (;;) { break; } return 0; }")
+
+    def test_var_forms(self):
+        roundtrip("func main() { var a; var b = 3; var c[7]; return b; }")
+
+    def test_globals_forms(self):
+        roundtrip("global a; global b = -3 + 1; global c[9]; func main() { }")
+
+    @pytest.mark.parametrize("op", ["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"])
+    def test_compound_assignment_ops(self, op):
+        roundtrip(f"func main() {{ var x = 9; x {op}= 2; return x; }}")
+
+
+class TestSemanticPreservation:
+    def test_printed_program_runs_identically(self):
+        source = """
+        global acc = 0;
+        func step(v) {
+            if (v % 3 == 0) { return v * 2; }
+            return v - 1;
+        }
+        func main() {
+            var i;
+            for (i = 0; i < 50; i += 1) { acc += step(i); }
+            output(acc);
+            return acc;
+        }
+        """
+        printed = print_program(parse_source(source))
+        original = Machine(compile_source(source)).run(InputSet.make("t"))
+        reprinted = Machine(compile_source(printed)).run(InputSet.make("t"))
+        assert original.return_value == reprinted.return_value
+        assert original.output == reprinted.output
+
+    def test_workload_sources_roundtrip(self):
+        from repro.workloads import all_workloads
+
+        for workload in all_workloads():
+            roundtrip(workload.source)

@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Covers: C-division semantics in the VM, constant folding vs. execution
+equivalence, trace round-trips, predictor output contracts, online/offline
+profiler equivalence on arbitrary traces, and metric identities.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.groundtruth import GroundTruth
+from repro.core.metrics import evaluate_detection
+from repro.core.profiler2d import ProfilerConfig, TwoDProfiler, profile_trace
+from repro.core.stats import BranchSliceStats
+from repro.lang import compile_source
+from repro.predictors import make_predictor, simulate
+from repro.predictors.simulate import SimulationResult
+from repro.trace.trace import BranchTrace
+from repro.vm import InputSet, Machine
+
+
+def run_expr(expression: str) -> int:
+    program = compile_source(f"func main() {{ return {expression}; }}")
+    return Machine(program).run(InputSet.make("t")).return_value
+
+
+# ----------------------------------------------------------------------
+# VM arithmetic semantics
+# ----------------------------------------------------------------------
+
+
+@given(a=st.integers(-10**9, 10**9), b=st.integers(-10**6, 10**6))
+def test_c_division_identity(a, b):
+    assume(b != 0)
+    quotient = run_expr(f"({a}) / ({b})")
+    remainder = run_expr(f"({a}) % ({b})")
+    assert quotient * b + remainder == a
+    # Truncation toward zero.
+    assert quotient == int(a / b) or (a / b == quotient)  # exact int division
+    if remainder != 0:
+        assert (remainder < 0) == (a < 0)
+
+
+@given(a=st.integers(-2**40, 2**40), n=st.integers(0, 63))
+def test_shift_roundtrip(a, n):
+    assert run_expr(f"(({a}) << {n}) >> {n}") == a
+
+
+@given(a=st.integers(-10**6, 10**6), b=st.integers(-10**6, 10**6))
+def test_comparison_consistency(a, b):
+    assert run_expr(f"({a}) < ({b})") == int(a < b)
+    assert run_expr(f"({a}) == ({b})") == int(a == b)
+    assert run_expr(f"(({a}) < ({b})) || (({a}) == ({b})) || (({a}) > ({b}))") == 1
+
+
+# ----------------------------------------------------------------------
+# Constant folding equivalence
+# ----------------------------------------------------------------------
+
+_expr_leaf = st.integers(-100, 100).map(str)
+
+
+def _combine(children):
+    left, right = children
+    operator = st.sampled_from(["+", "-", "*", "&", "|", "^", "<", "<=", "==", "!="])
+    return operator.map(lambda op: f"({left} {op} {right})")
+
+
+_expr = st.recursive(
+    _expr_leaf,
+    lambda inner: st.tuples(inner, inner).flatmap(_combine),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(expression=_expr)
+def test_folding_preserves_value(expression):
+    source = f"func main() {{ return {expression}; }}"
+    optimized = Machine(compile_source(source, optimize=True)).run(InputSet.make("t"))
+    plain = Machine(compile_source(source, optimize=False)).run(InputSet.make("t"))
+    assert optimized.return_value == plain.return_value
+
+
+# ----------------------------------------------------------------------
+# Traces
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def traces(draw, max_sites=6, max_len=300):
+    num_sites = draw(st.integers(1, max_sites))
+    length = draw(st.integers(0, max_len))
+    sites = draw(
+        st.lists(st.integers(0, num_sites - 1), min_size=length, max_size=length)
+    )
+    outcomes = draw(st.lists(st.integers(0, 1), min_size=length, max_size=length))
+    return BranchTrace(
+        program="prop",
+        input_name="x",
+        num_sites=num_sites,
+        sites=np.array(sites, dtype=np.int32),
+        outcomes=np.array(outcomes, dtype=np.uint8),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces())
+def test_trace_roundtrip(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("prop") / "t.npz"
+    trace.save(path)
+    loaded = BranchTrace.load(path)
+    assert np.array_equal(loaded.sites, trace.sites)
+    assert np.array_equal(loaded.outcomes, trace.outcomes)
+    assert loaded.num_sites == trace.num_sites
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces())
+def test_trace_count_invariants(trace):
+    executed = trace.execution_counts()
+    taken = trace.taken_counts()
+    assert executed.sum() == len(trace)
+    assert (taken <= executed).all()
+    for site, bias in trace.site_bias().items():
+        assert 0.0 <= bias <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Predictors
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    trace=traces(),
+    name=st.sampled_from(["bimodal", "gshare", "local", "gag", "tournament", "loop"]),
+)
+def test_simulation_contract(trace, name):
+    result = simulate(make_predictor(name), trace)
+    assert result.num_branches == len(trace)
+    assert result.exec_counts.sum() == len(trace)
+    assert (result.correct_counts <= result.exec_counts).all()
+    assert set(np.unique(result.correct)) <= {0, 1}
+
+
+@settings(max_examples=15, deadline=None)
+@given(trace=traces())
+def test_simulation_deterministic(trace):
+    a = simulate(make_predictor("gshare"), trace)
+    b = simulate(make_predictor("gshare"), trace)
+    assert np.array_equal(a.correct, b.correct)
+
+
+# ----------------------------------------------------------------------
+# Profiler invariants + online/offline equivalence
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=traces(max_sites=4, max_len=400), slice_size=st.integers(10, 120))
+def test_online_offline_equivalence(trace, slice_size):
+    assume(len(trace) > 0)
+    config = ProfilerConfig(slice_size=slice_size, exec_threshold=2)
+    sim = simulate(make_predictor("bimodal"), trace)
+    offline = profile_trace(trace, simulation=sim, config=config)
+    online = TwoDProfiler(trace.num_sites, config)
+    for site, correct in zip(trace.sites.tolist(), sim.correct.tolist()):
+        online.record(site, correct)
+    online_report = online.finish()
+    for site in range(trace.num_sites):
+        a, b = offline.stats[site], online_report.stats[site]
+        assert a.N == b.N
+        assert a.NPAM == b.NPAM
+        assert a.SPA == pytest.approx(b.SPA, abs=1e-9)
+        assert a.SSPA == pytest.approx(b.SSPA, abs=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=traces(max_sites=4, max_len=400), slice_size=st.integers(10, 120))
+def test_profiler_stat_invariants(trace, slice_size):
+    assume(len(trace) > 0)
+    config = ProfilerConfig(slice_size=slice_size, exec_threshold=2)
+    report = profile_trace(trace, predictor=make_predictor("bimodal"), config=config)
+    for stats in report.stats:
+        assert stats.NPAM <= stats.N
+        assert 0.0 <= stats.SPA <= stats.N + 1e-9
+        assert stats.SSPA <= stats.SPA + 1e-9 or stats.N == 0
+        if stats.N:
+            assert 0.0 <= stats.mean <= 1.0
+            assert 0.0 <= stats.std <= 0.5 + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    accuracies=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=60),
+)
+def test_slice_stats_bounds(accuracies):
+    stats = BranchSliceStats()
+    for accuracy in accuracies:
+        stats.exec_counter = 1000
+        stats.predict_counter = round(accuracy * 1000)
+        stats.end_slice(exec_threshold=0)
+    assert stats.N == len(accuracies)
+    assert 0.0 <= stats.pam_fraction <= 1.0
+    assert 0.0 <= stats.mean <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Metrics identities
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    dependent=st.sets(st.integers(0, 20)),
+    independent=st.sets(st.integers(0, 20)),
+    predicted=st.sets(st.integers(0, 25)),
+)
+def test_metric_identities(dependent, independent, predicted):
+    independent = independent - dependent
+    truth = GroundTruth(
+        dependent=dependent,
+        independent=independent,
+        universe=dependent | independent,
+    )
+    metrics = evaluate_detection(predicted, truth)
+    assert metrics.identified_dep + metrics.identified_indep == len(truth.universe)
+    assert metrics.correct_dep <= min(metrics.true_dep, metrics.identified_dep)
+    assert metrics.correct_indep <= min(metrics.true_indep, metrics.identified_indep)
+    for value in metrics.as_row().values():
+        assert math.isnan(value) or 0.0 <= value <= 1.0
+    # COV-dep and ACC-dep share a numerator.
+    if metrics.true_dep and metrics.identified_dep:
+        assert metrics.cov_dep * metrics.true_dep == pytest.approx(
+            metrics.acc_dep * metrics.identified_dep
+        )

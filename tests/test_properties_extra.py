@@ -1,0 +1,158 @@
+"""Additional property-based tests: edge profiling, phase classifier, and
+the cost simulator's arithmetic identities."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.analysis.phases import PhaseShape, classify_series
+from repro.core.edge2d import Edge2DProfiler
+from repro.core.predication import AdvisorDecision, PredicationCosts
+from repro.core.profiler2d import ProfilerConfig
+from repro.core.timing import evaluate_policy
+from repro.predictors.simulate import SimulationResult
+from repro.trace.trace import BranchTrace
+
+# ----------------------------------------------------------------------
+# Shared strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def traces_with_sims(draw, max_sites=4, max_len=300):
+    num_sites = draw(st.integers(1, max_sites))
+    length = draw(st.integers(1, max_len))
+    sites = np.array(
+        draw(st.lists(st.integers(0, num_sites - 1), min_size=length, max_size=length)),
+        dtype=np.int32,
+    )
+    outcomes = np.array(
+        draw(st.lists(st.integers(0, 1), min_size=length, max_size=length)),
+        dtype=np.uint8,
+    )
+    correct = np.array(
+        draw(st.lists(st.integers(0, 1), min_size=length, max_size=length)),
+        dtype=np.uint8,
+    )
+    trace = BranchTrace(program="p", input_name="i", num_sites=num_sites,
+                        sites=sites, outcomes=outcomes)
+    sim = SimulationResult(
+        predictor_name="arbitrary",
+        num_sites=num_sites,
+        correct=correct,
+        exec_counts=np.bincount(sites, minlength=num_sites).astype(np.int64),
+        correct_counts=np.bincount(sites, weights=correct, minlength=num_sites).astype(np.int64),
+    )
+    return trace, sim
+
+
+# ----------------------------------------------------------------------
+# Edge 2D profiler
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=traces_with_sims())
+def test_edge2d_total_invariants(data):
+    trace, _sim = data
+    profiler = Edge2DProfiler(config=ProfilerConfig(slice_size=max(10, len(trace) // 10),
+                                                    exec_threshold=1))
+    report = profiler.profile(trace)
+    assert report.input_dependent_sites() <= report.profiled_sites()
+    for site in report.profiled_sites():
+        assert 0.0 <= report.mean_bias(site) <= 1.0
+        assert report.bias_std(site) <= 0.5 + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Phase classifier
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=st.lists(st.floats(0.0, 1.0), min_size=0, max_size=80))
+def test_phase_classifier_total(values):
+    verdict = classify_series(np.array(values))
+    assert isinstance(verdict.shape, PhaseShape)
+    assert verdict.crossings >= 0
+    assert verdict.std >= 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    level=st.floats(0.1, 0.9),
+    n=st.integers(8, 60),
+)
+def test_constant_series_always_flat(level, n):
+    verdict = classify_series(np.full(n, level))
+    assert verdict.shape is PhaseShape.FLAT
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    low=st.floats(0.05, 0.4),
+    high=st.floats(0.6, 0.95),
+    first=st.integers(6, 30),
+    second=st.integers(6, 30),
+)
+def test_clean_step_never_flat(low, high, first, second):
+    values = np.concatenate([np.full(first, low), np.full(second, high)])
+    verdict = classify_series(values)
+    assert verdict.shape is not PhaseShape.FLAT
+    assert verdict.shape in (PhaseShape.LEVEL_SHIFT, PhaseShape.OSCILLATING,
+                             PhaseShape.DRIFT)
+
+
+# ----------------------------------------------------------------------
+# Cost simulator
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=traces_with_sims())
+def test_predicated_cost_is_exact(data):
+    trace, sim = data
+    costs = PredicationCosts()
+    decisions = {site: AdvisorDecision.PREDICATE for site in range(trace.num_sites)}
+    report = evaluate_policy(trace, sim, decisions, costs)
+    assert report.total_cycles == pytest.approx(len(trace) * costs.exec_predicated)
+    assert all(s.flushes == 0 for s in report.per_site.values())
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=traces_with_sims())
+def test_branch_cost_decomposition(data):
+    trace, sim = data
+    costs = PredicationCosts(exec_taken=2, exec_not_taken=7, misp_penalty=13)
+    report = evaluate_policy(trace, sim, {}, costs)
+    taken = int(trace.outcomes.sum())
+    not_taken = len(trace) - taken
+    mispredictions = len(trace) - int(sim.correct.sum())
+    expected = 2 * taken + 7 * not_taken + 13 * mispredictions
+    assert report.total_cycles == pytest.approx(expected)
+    assert sum(s.flushes for s in report.per_site.values()) == mispredictions
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=traces_with_sims())
+def test_wish_bounded_by_per_execution_envelope(data):
+    # With zero overhead, each wish execution costs either that execution's
+    # branch cost or the predicated cost — so the total lies between the
+    # per-execution oracle (min per execution) and pessimum (max per
+    # execution).  Note the adaptive mix can legitimately BEAT both pure
+    # static policies, so the pure totals are not valid bounds.
+    trace, sim = data
+    costs = PredicationCosts()
+    decisions = {site: AdvisorDecision.WISH_BRANCH for site in range(trace.num_sites)}
+    wish = evaluate_policy(trace, sim, decisions, costs, wish_overhead=0.0)
+
+    lower = upper = 0.0
+    for taken, ok in zip(trace.outcomes.tolist(), sim.correct.tolist()):
+        branch_cost = (costs.exec_taken if taken else costs.exec_not_taken)
+        if not ok:
+            branch_cost += costs.misp_penalty
+        lower += min(branch_cost, costs.exec_predicated)
+        upper += max(branch_cost, costs.exec_predicated)
+    assert lower - 1e-6 <= wish.total_cycles <= upper + 1e-6

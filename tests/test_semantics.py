@@ -1,0 +1,178 @@
+"""Unit tests for Minic semantic analysis."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang import ast
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.semantics import check, const_eval, fold_binary
+
+
+def analyze(source):
+    tree = parse(tokenize(source))
+    return tree, check(tree)
+
+
+class TestProgramStructure:
+    def test_main_required(self):
+        with pytest.raises(SemanticError, match="main"):
+            analyze("func f() { }")
+
+    def test_main_must_take_no_params(self):
+        with pytest.raises(SemanticError, match="no parameters"):
+            analyze("func main(x) { }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(SemanticError, match="duplicate function"):
+            analyze("func f() {} func f() {} func main() {}")
+
+    def test_duplicate_global(self):
+        with pytest.raises(SemanticError, match="duplicate global"):
+            analyze("global g; global g; func main() {}")
+
+    def test_duplicate_parameter(self):
+        with pytest.raises(SemanticError, match="duplicate parameter"):
+            analyze("func f(a, a) {} func main() {}")
+
+    def test_function_shadowing_builtin_rejected(self):
+        with pytest.raises(SemanticError, match="shadows a builtin"):
+            analyze("func abs(x) { return x; } func main() {}")
+
+    def test_global_shadowing_builtin_rejected(self):
+        with pytest.raises(SemanticError, match="shadows a builtin"):
+            analyze("global min; func main() {}")
+
+
+class TestScoping:
+    def test_undeclared_name(self):
+        with pytest.raises(SemanticError, match="undeclared"):
+            analyze("func main() { return x; }")
+
+    def test_local_shadows_global(self):
+        source = "global x = 1; func main() { var x = 2; return x; }"
+        tree, _info = analyze(source)
+        ret = tree.functions[0].body.body[1]
+        assert ret.value.binding[0] == "local"
+
+    def test_global_binding(self):
+        tree, info = analyze("global g = 1; func main() { return g; }")
+        ret = tree.functions[0].body.body[0]
+        assert ret.value.binding == ("global", 0)
+
+    def test_block_scope_expires(self):
+        source = "func main() { if (1) { var y = 1; } return y; }"
+        with pytest.raises(SemanticError, match="undeclared"):
+            analyze(source)
+
+    def test_duplicate_in_same_scope(self):
+        with pytest.raises(SemanticError, match="duplicate declaration"):
+            analyze("func main() { var x = 1; var x = 2; }")
+
+    def test_shadowing_in_nested_scope_allowed(self):
+        source = "func main() { var x = 1; { var x = 2; } return x; }"
+        analyze(source)
+
+    def test_for_init_scoped_to_loop(self):
+        source = "func main() { for (var i = 0; i < 3; i += 1) { } return i; }"
+        with pytest.raises(SemanticError, match="undeclared"):
+            analyze(source)
+
+    def test_param_slots_come_first(self):
+        _tree, info = analyze("func f(a, b) { var c = 0; return c; } func main() {}")
+        assert info.functions["f"].local_count == 3
+
+    def test_each_decl_gets_fresh_slot(self):
+        source = "func main() { { var a = 1; } { var b = 2; } }"
+        _tree, info = analyze(source)
+        assert info.functions["main"].local_count == 2
+
+
+class TestCalls:
+    def test_arity_mismatch(self):
+        with pytest.raises(SemanticError, match="expects 2"):
+            analyze("func f(a, b) {} func main() { f(1); }")
+
+    def test_builtin_arity_mismatch(self):
+        with pytest.raises(SemanticError, match="expects 2"):
+            analyze("func main() { min(1); }")
+
+    def test_undefined_function(self):
+        with pytest.raises(SemanticError, match="undefined function"):
+            analyze("func main() { nope(); }")
+
+    def test_builtin_resolution(self):
+        tree, _info = analyze("func main() { output(1); }")
+        call = tree.functions[0].body.body[0].expr
+        assert call.target == ("builtin", "output")
+
+    def test_forward_reference_allowed(self):
+        analyze("func main() { helper(); } func helper() { }")
+
+    def test_recursion_allowed(self):
+        analyze("func main() { main(); }")
+
+
+class TestLoopsAndJumps:
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError, match="break"):
+            analyze("func main() { break; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(SemanticError, match="continue"):
+            analyze("func main() { if (1) { continue; } }")
+
+    def test_break_inside_while(self):
+        analyze("func main() { while (1) { break; } }")
+
+    def test_continue_inside_do_while(self):
+        analyze("func main() { do { continue; } while (0); }")
+
+    def test_break_inside_for(self):
+        analyze("func main() { for (;;) { break; } }")
+
+
+class TestConstants:
+    def test_global_init_must_be_const(self):
+        with pytest.raises(SemanticError, match="constant"):
+            analyze("global g = input(0); func main() {}")
+
+    def test_global_const_expression(self):
+        analyze("global g = 4 * 16 - 1; func main() {}")
+
+    def test_global_array_size_const(self):
+        analyze("global a[1 << 4]; func main() {}")
+
+    def test_global_array_size_positive(self):
+        with pytest.raises(SemanticError, match="positive"):
+            analyze("global a[0]; func main() {}")
+
+    def test_global_init_division_by_zero(self):
+        with pytest.raises(SemanticError, match="zero"):
+            analyze("global g = 1 / 0; func main() {}")
+
+    def test_const_eval_unary(self):
+        expr = ast.Unary(line=1, op="-", operand=ast.IntLiteral(line=1, value=7))
+        assert const_eval(expr) == -7
+
+
+class TestFoldBinary:
+    """fold_binary implements C semantics (truncation toward zero)."""
+
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("+", 2, 3, 5), ("-", 2, 5, -3), ("*", -4, 3, -12),
+        ("/", 7, 2, 3), ("/", -7, 2, -3), ("/", 7, -2, -3), ("/", -7, -2, 3),
+        ("%", 7, 3, 1), ("%", -7, 3, -1), ("%", 7, -3, 1),
+        ("&", 12, 10, 8), ("|", 12, 10, 14), ("^", 12, 10, 6),
+        ("<<", 1, 4, 16), (">>", 16, 2, 4),
+        ("==", 3, 3, 1), ("!=", 3, 3, 0),
+        ("<", 2, 3, 1), ("<=", 3, 3, 1), (">", 2, 3, 0), (">=", 3, 3, 1),
+    ])
+    def test_operator(self, op, a, b, expected):
+        assert fold_binary(op, a, b) == expected
+
+    def test_division_truncation_identity(self):
+        # C guarantees (a/b)*b + a%b == a.
+        for a in (-7, -1, 0, 1, 7, 13):
+            for b in (-3, -1, 1, 3, 5):
+                assert fold_binary(op="/", left=a, right=b) * b + fold_binary("%", a, b) == a

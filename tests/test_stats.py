@@ -1,0 +1,156 @@
+"""Unit tests for the per-branch slice statistics and the three tests."""
+
+import math
+
+import pytest
+
+from repro.core.stats import (
+    BranchSliceStats,
+    TestThresholds,
+    classify,
+    mean_test,
+    pam_test,
+    std_test,
+)
+
+
+def feed_slices(accuracies, executions=100, exec_threshold=0, use_fir=True,
+                fir_cold_start=False):
+    """Drive a BranchSliceStats through a sequence of slice accuracies."""
+    stats = BranchSliceStats()
+    for accuracy in accuracies:
+        stats.exec_counter = executions
+        stats.predict_counter = round(accuracy * executions)
+        stats.end_slice(exec_threshold, use_fir, fir_cold_start)
+    return stats
+
+
+class TestSliceAccounting:
+    def test_counters_reset_after_slice(self):
+        stats = BranchSliceStats()
+        stats.exec_counter = 50
+        stats.predict_counter = 25
+        stats.end_slice(exec_threshold=0)
+        assert stats.exec_counter == 0 and stats.predict_counter == 0
+
+    def test_below_threshold_slice_discarded(self):
+        stats = BranchSliceStats()
+        stats.exec_counter = 5
+        stats.predict_counter = 5
+        stats.end_slice(exec_threshold=10)
+        assert stats.N == 0 and stats.SPA == 0.0
+
+    def test_exactly_threshold_discarded(self):
+        # Figure 9b line 1 uses strict '>'.
+        stats = BranchSliceStats()
+        stats.exec_counter = 10
+        stats.predict_counter = 10
+        stats.end_slice(exec_threshold=10)
+        assert stats.N == 0
+
+    def test_constant_accuracy_stats(self):
+        stats = feed_slices([0.8] * 10)
+        assert stats.N == 10
+        assert stats.mean == pytest.approx(0.8)
+        assert stats.std == pytest.approx(0.0, abs=1e-6)
+
+    def test_mean_of_varying_series(self):
+        stats = feed_slices([0.5, 1.0], use_fir=False)
+        assert stats.mean == pytest.approx(0.75)
+
+    def test_std_matches_population_formula(self):
+        values = [0.2, 0.4, 0.6, 0.8]
+        stats = feed_slices(values, use_fir=False)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert stats.std == pytest.approx(math.sqrt(var))
+
+    def test_empty_stats_safe(self):
+        stats = BranchSliceStats()
+        assert stats.mean == 0.0 and stats.std == 0.0 and stats.pam_fraction == 0.0
+
+
+class TestFIRFilter:
+    def test_warm_start_first_slice_unfiltered(self):
+        stats = feed_slices([0.6])
+        assert stats.SPA == pytest.approx(0.6)
+
+    def test_cold_start_halves_first_slice(self):
+        stats = feed_slices([0.6], fir_cold_start=True)
+        assert stats.SPA == pytest.approx(0.3)
+
+    def test_filter_averages_consecutive_slices(self):
+        stats = feed_slices([0.4, 0.8])
+        # slice1 -> 0.4; slice2 -> (0.8 + 0.4)/2 = 0.6
+        assert stats.SPA == pytest.approx(1.0)
+        assert stats.LPA == pytest.approx(0.6)
+
+    def test_filter_disabled(self):
+        stats = feed_slices([0.4, 0.8], use_fir=False)
+        assert stats.SPA == pytest.approx(1.2)
+
+    def test_filter_reduces_variance_of_alternation(self):
+        raw = feed_slices([0.2, 0.9] * 20, use_fir=False)
+        filtered = feed_slices([0.2, 0.9] * 20, use_fir=True)
+        assert filtered.std < raw.std
+
+
+class TestPAMAccounting:
+    def test_constant_series_has_zero_pam(self):
+        # Strictly-greater comparison: identical values never exceed the mean.
+        stats = feed_slices([0.7] * 20)
+        assert stats.NPAM == 0
+
+    def test_step_up_series_pam_fraction(self):
+        stats = feed_slices([0.5] * 10 + [0.9] * 10, use_fir=False)
+        # The high phase sits above the running mean.
+        assert 0.3 <= stats.pam_fraction <= 0.6
+
+
+class TestThreeTests:
+    def test_mean_test_pass_and_fail(self):
+        low = feed_slices([0.6] * 5)
+        high = feed_slices([0.95] * 5)
+        assert mean_test(low, mean_th=0.9)
+        assert not mean_test(high, mean_th=0.9)
+
+    def test_mean_test_empty_fails(self):
+        assert not mean_test(BranchSliceStats(), mean_th=0.9)
+
+    def test_std_test(self):
+        flat = feed_slices([0.8] * 10)
+        swingy = feed_slices([0.5, 0.9] * 10, use_fir=False)
+        assert not std_test(flat, std_th=0.04)
+        assert std_test(swingy, std_th=0.04)
+
+    def test_pam_test_two_tailed(self):
+        flat = feed_slices([0.7] * 20)           # fraction 0 -> fail low tail
+        step = feed_slices([0.5] * 10 + [0.9] * 10, use_fir=False)
+        assert not pam_test(flat, pam_th=0.05)
+        assert pam_test(step, pam_th=0.05)
+
+    def test_pam_test_high_tail(self):
+        stats = BranchSliceStats(N=100, NPAM=99)
+        assert not pam_test(stats, pam_th=0.05)
+        stats = BranchSliceStats(N=100, NPAM=50)
+        assert pam_test(stats, pam_th=0.05)
+
+    def test_classify_requires_pam(self):
+        # Low mean but flat: MEAN passes, PAM fails -> not input-dependent.
+        flat_low = feed_slices([0.6] * 20)
+        assert not classify(flat_low, TestThresholds(), overall_accuracy=0.9)
+
+    def test_classify_std_route(self):
+        swingy = feed_slices([0.5] * 10 + [0.95] * 10, use_fir=False)
+        assert classify(swingy, TestThresholds(), overall_accuracy=0.5)
+
+    def test_classify_mean_route(self):
+        # Noisy low-accuracy branch: MEAN + PAM without a huge std.
+        noisy_low = feed_slices([0.58, 0.62, 0.59, 0.61] * 10, use_fir=False)
+        thresholds = TestThresholds(std_th=0.5)  # Force the MEAN route.
+        assert classify(noisy_low, thresholds, overall_accuracy=0.9)
+
+    def test_mean_th_none_uses_overall(self):
+        stats = feed_slices([0.6, 0.62, 0.58, 0.6] * 10, use_fir=False)
+        assert classify(stats, TestThresholds(mean_th=None), overall_accuracy=0.9)
+        assert not classify(stats, TestThresholds(mean_th=0.5), overall_accuracy=0.9)

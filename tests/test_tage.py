@@ -1,0 +1,104 @@
+"""Tests for the simplified TAGE predictor."""
+
+import numpy as np
+import pytest
+
+from repro.predictors import Tage, make_predictor, simulate
+from repro.predictors.tage import _FoldedHistory
+from repro.trace.synthetic import (
+    SiteSpec,
+    bernoulli_site,
+    interleave_sites,
+    pattern_site,
+)
+
+
+class TestFoldedHistory:
+    def test_folded_stays_within_width(self):
+        folded = _FoldedHistory(length=20, width=8)
+        history = 0
+        for step in range(200):
+            bit = (step * 7) % 3 == 0
+            outgoing = (history >> 19) & 1
+            history = ((history << 1) | bit) & ((1 << 20) - 1)
+            folded.update(int(bit), outgoing)
+            assert 0 <= folded.folded < (1 << 8)
+
+    def test_nonzero_history_folds_nonzero(self):
+        # XOR folding is lossy (e.g. all-ones folds to 0), but a single 1
+        # in an otherwise-zero window must be visible.
+        a = _FoldedHistory(length=12, width=6)
+        b = _FoldedHistory(length=12, width=6)
+        a.update(1, 0)
+        b.update(0, 0)
+        assert a.folded != b.folded
+
+
+class TestConfiguration:
+    def test_geometric_history_lengths(self):
+        tage = Tage(num_tables=4, min_history=4, max_history=64)
+        lengths = tage.history_lengths
+        assert lengths[0] == 4 and lengths[-1] == 64
+        assert lengths == sorted(lengths)
+
+    def test_single_table(self):
+        tage = Tage(num_tables=1)
+        assert len(tage.history_lengths) == 1
+        tage.predict_and_update(0, 1)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            Tage(num_tables=0)
+
+    def test_describe(self):
+        assert "tagged tables" in Tage().describe()
+
+
+class TestPrediction:
+    def test_learns_strong_bias(self):
+        outcomes = bernoulli_site(8000, SiteSpec.stationary(0.95), seed=1)
+        trace = interleave_sites({0: outcomes}, seed=1)
+        result = simulate(Tage(), trace)
+        assert result.overall_accuracy > 0.9
+
+    def test_learns_short_pattern(self):
+        trace = interleave_sites({0: pattern_site("TTN", 3000)}, seed=2)
+        result = simulate(Tage(), trace)
+        assert result.overall_accuracy > 0.95
+
+    def test_learns_long_period_pattern(self):
+        # Period-24 pattern exceeds a 14-bit gshare's history window but is
+        # within TAGE's longest table.
+        pattern = "T" * 17 + "N" * 7
+        trace = interleave_sites({0: pattern_site(pattern, 1200)}, seed=3)
+        tage_acc = simulate(Tage(), trace).overall_accuracy
+        assert tage_acc > 0.93
+
+    def test_outputs_are_binary(self):
+        tage = Tage(num_tables=2, table_bits=6)
+        rng = np.random.default_rng(4)
+        for _ in range(500):
+            prediction = tage.predict_and_update(int(rng.integers(0, 50)),
+                                                 int(rng.integers(0, 2)))
+            assert prediction in (0, 1)
+
+    def test_reset_restores_cold_state(self):
+        tage = Tage(num_tables=2, table_bits=6)
+        trace = interleave_sites({0: pattern_site("TN", 500)}, seed=5)
+        first = simulate(tage, trace)
+        second = simulate(tage, trace)  # simulate() resets by default
+        assert np.array_equal(first.correct, second.correct)
+
+    def test_registry_integration(self):
+        predictor = make_predictor("tage", num_tables=3, table_bits=7)
+        assert predictor.num_tables == 3
+
+    def test_useful_bits_bounded(self):
+        tage = Tage(num_tables=3, table_bits=5)
+        rng = np.random.default_rng(6)
+        for _ in range(2000):
+            tage.predict_and_update(int(rng.integers(0, 8)), int(rng.integers(0, 2)))
+        for table in tage.useful:
+            assert all(0 <= u <= 3 for u in table)
+        for table in tage.counters:
+            assert all(0 <= c <= 7 for c in table)

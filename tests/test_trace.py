@@ -1,0 +1,145 @@
+"""Unit tests for the trace container, capture, and synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.lang import compile_source
+from repro.trace import BranchTrace, capture_trace
+from repro.trace.synthetic import (
+    SiteSpec,
+    bernoulli_site,
+    interleave_sites,
+    loop_site,
+    pattern_site,
+    phased_trace,
+)
+from repro.vm import InputSet
+
+
+def small_trace():
+    return BranchTrace(
+        program="p",
+        input_name="i",
+        num_sites=3,
+        sites=np.array([0, 1, 0, 2, 0], dtype=np.int32),
+        outcomes=np.array([1, 0, 1, 1, 0], dtype=np.uint8),
+        instructions=50,
+    )
+
+
+class TestBranchTrace:
+    def test_length(self):
+        assert len(small_trace()) == 5
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(TraceError, match="same length"):
+            BranchTrace("p", "i", 3, np.array([0, 1]), np.array([1]))
+
+    def test_site_beyond_num_sites_rejected(self):
+        with pytest.raises(TraceError, match="beyond num_sites"):
+            BranchTrace("p", "i", 2, np.array([0, 5]), np.array([1, 0]))
+
+    def test_from_packed(self):
+        trace = BranchTrace.from_packed([0 * 2 + 1, 3 * 2 + 0, 1 * 2 + 1], "p", "i", 4)
+        assert trace.sites.tolist() == [0, 3, 1]
+        assert trace.outcomes.tolist() == [1, 0, 1]
+
+    def test_execution_counts(self):
+        assert small_trace().execution_counts().tolist() == [3, 1, 1]
+
+    def test_taken_counts(self):
+        assert small_trace().taken_counts().tolist() == [2, 0, 1]
+
+    def test_site_bias(self):
+        bias = small_trace().site_bias()
+        assert bias[0] == pytest.approx(2 / 3)
+        assert bias[1] == 0.0
+
+    def test_executed_sites(self):
+        assert small_trace().executed_sites().tolist() == [0, 1, 2]
+
+    def test_slice_view(self):
+        view = small_trace().slice_view(1, 4)
+        assert view.sites.tolist() == [1, 0, 2]
+        assert len(view) == 3
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "t.npz"
+        trace.save(path)
+        loaded = BranchTrace.load(path)
+        assert loaded.program == "p" and loaded.input_name == "i"
+        assert loaded.instructions == 50
+        assert np.array_equal(loaded.sites, trace.sites)
+        assert np.array_equal(loaded.outcomes, trace.outcomes)
+
+    def test_load_garbage_raises(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not a trace")
+        with pytest.raises(TraceError):
+            BranchTrace.load(path)
+
+
+class TestCapture:
+    def test_capture_matches_program_behavior(self):
+        source = """
+        func main() {
+            var i;
+            for (i = 0; i < 10; i += 1) { }
+            return i;
+        }
+        """
+        program = compile_source(source)
+        trace = capture_trace(program, InputSet.make("t"))
+        # One loop branch executed 11 times (10 continue + 1 exit).
+        assert len(trace) == 11
+        assert trace.num_sites == program.num_sites
+        assert trace.instructions > 0
+
+
+class TestSynthetic:
+    def test_bernoulli_deterministic(self):
+        spec = SiteSpec.stationary(0.5)
+        a = bernoulli_site(100, spec, seed=1)
+        b = bernoulli_site(100, spec, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_bernoulli_respects_probability(self):
+        outcomes = bernoulli_site(20_000, SiteSpec.stationary(0.8), seed=2)
+        assert outcomes.mean() == pytest.approx(0.8, abs=0.02)
+
+    def test_two_phase_changes_rate(self):
+        outcomes = bernoulli_site(20_000, SiteSpec.two_phase(0.1, 0.9), seed=3)
+        first, second = outcomes[:10_000], outcomes[10_000:]
+        assert first.mean() < 0.2 and second.mean() > 0.8
+
+    def test_loop_site_structure(self):
+        outcomes = loop_site([3, 2])
+        assert outcomes.tolist() == [1, 1, 0, 1, 0]
+
+    def test_loop_site_skips_nonpositive(self):
+        assert loop_site([0, -1, 2]).tolist() == [1, 0]
+
+    def test_pattern_site(self):
+        assert pattern_site("TN", 2).tolist() == [1, 0, 1, 0]
+
+    def test_interleave_preserves_per_site_order(self):
+        streams = {0: np.array([1, 1, 0], dtype=np.uint8),
+                   1: np.array([0, 1], dtype=np.uint8)}
+        trace = interleave_sites(streams, seed=4)
+        for site, stream in streams.items():
+            mask = trace.sites == site
+            assert np.array_equal(trace.outcomes[mask], stream)
+
+    def test_interleave_counts(self):
+        streams = {0: np.ones(5, dtype=np.uint8), 2: np.zeros(3, dtype=np.uint8)}
+        trace = interleave_sites(streams, seed=5)
+        counts = trace.execution_counts()
+        assert counts[0] == 5 and counts[1] == 0 and counts[2] == 3
+
+    def test_phased_trace_shape(self):
+        trace, stationary, phased = phased_trace(3, 2, 100, seed=6)
+        assert len(stationary) == 3 and len(phased) == 2
+        assert len(trace) == 5 * 100
+        assert stationary.isdisjoint(phased)

@@ -1,0 +1,127 @@
+"""Tests for trace manipulation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.ops import (
+    bias_divergence,
+    concat,
+    filter_sites,
+    site_stream,
+    subsample,
+    summarize,
+    traces_equal,
+)
+from repro.trace.trace import BranchTrace
+
+
+def trace_of(sites, outcomes, num_sites=4, name="i"):
+    return BranchTrace(
+        program="p", input_name=name, num_sites=num_sites,
+        sites=np.array(sites, dtype=np.int32),
+        outcomes=np.array(outcomes, dtype=np.uint8),
+        instructions=10 * len(sites),
+    )
+
+
+BASE = trace_of([0, 1, 0, 2, 1, 0], [1, 0, 1, 1, 0, 0])
+
+
+class TestFilterSites:
+    def test_keeps_only_selected(self):
+        filtered = filter_sites(BASE, {0})
+        assert filtered.sites.tolist() == [0, 0, 0]
+        assert filtered.outcomes.tolist() == [1, 1, 0]
+
+    def test_multiple_sites_preserve_order(self):
+        filtered = filter_sites(BASE, {0, 2})
+        assert filtered.sites.tolist() == [0, 0, 2, 0]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TraceError):
+            filter_sites(BASE, {9})
+
+
+class TestSiteStream:
+    def test_stream(self):
+        assert site_stream(BASE, 1).tolist() == [0, 0]
+
+    def test_empty_stream(self):
+        assert site_stream(BASE, 3).tolist() == []
+
+    def test_out_of_range(self):
+        with pytest.raises(TraceError):
+            site_stream(BASE, -1)
+
+
+class TestConcat:
+    def test_concatenation(self):
+        other = trace_of([3, 3], [1, 1], name="j")
+        joined = concat([BASE, other])
+        assert len(joined) == 8
+        assert joined.input_name == "i+j"
+        assert joined.instructions == BASE.instructions + other.instructions
+
+    def test_mismatched_programs_rejected(self):
+        other = trace_of([0], [1], num_sites=7)
+        with pytest.raises(TraceError, match="num_sites"):
+            concat([BASE, other])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(TraceError):
+            concat([])
+
+
+class TestSubsample:
+    def test_every_second(self):
+        sampled = subsample(BASE, 2)
+        assert sampled.sites.tolist() == [0, 0, 1]
+
+    def test_step_one_identity(self):
+        assert traces_equal(subsample(BASE, 1), BASE)
+
+    def test_invalid_step(self):
+        with pytest.raises(TraceError):
+            subsample(BASE, 0)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize(BASE)
+        assert summary.dynamic_branches == 6
+        assert summary.static_branches_executed == 3
+        assert summary.taken_rate == pytest.approx(0.5)
+        assert summary.hottest_site == 0
+        assert summary.hottest_count == 3
+
+    def test_empty_trace(self):
+        empty = trace_of([], [])
+        summary = summarize(empty)
+        assert summary.dynamic_branches == 0
+        assert summary.taken_rate == 0.0
+
+
+class TestEqualityAndDivergence:
+    def test_traces_equal_reflexive(self):
+        assert traces_equal(BASE, BASE)
+
+    def test_traces_differ_on_outcomes(self):
+        other = trace_of([0, 1, 0, 2, 1, 0], [1, 0, 1, 1, 0, 1])
+        assert not traces_equal(BASE, other)
+
+    def test_bias_divergence(self):
+        a = trace_of([0] * 100, [1] * 90 + [0] * 10)
+        b = trace_of([0] * 100, [1] * 50 + [0] * 50)
+        divergence = bias_divergence(a, b, min_executions=50)
+        assert divergence[0] == pytest.approx(0.4)
+
+    def test_bias_divergence_min_executions(self):
+        a = trace_of([0] * 10, [1] * 10)
+        b = trace_of([0] * 10, [0] * 10)
+        assert bias_divergence(a, b, min_executions=50) == {}
+
+    def test_bias_divergence_program_mismatch(self):
+        other = trace_of([0], [1], num_sites=9)
+        with pytest.raises(TraceError):
+            bias_divergence(BASE, other)

@@ -1,0 +1,143 @@
+"""Tests for the workload suite: every program compiles, runs at tiny
+scale, is deterministic, and has the structural properties its SPEC
+counterpart motivates.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.trace import capture_trace
+from repro.workloads import all_workloads, deep_workloads, get_workload, workload_names
+
+TINY = 0.03
+
+
+@pytest.fixture(scope="module")
+def tiny_traces():
+    """Train trace per workload at tiny scale (shared across tests)."""
+    traces = {}
+    for wl in all_workloads():
+        traces[wl.name] = capture_trace(wl.program(), wl.make_input("train", TINY))
+    return traces
+
+
+class TestRegistry:
+    def test_twelve_workloads(self):
+        assert len(all_workloads()) == 12
+
+    def test_expected_names(self):
+        assert set(workload_names()) == {
+            "bzipish", "gzipish", "twolfish", "gapish", "craftyish", "parserish",
+            "mcfish", "gccish", "vprish", "vortexish", "perlish", "eonish",
+        }
+
+    def test_six_deep_workloads(self):
+        deep = {w.name for w in deep_workloads()}
+        assert deep == {"bzipish", "gzipish", "twolfish", "gapish", "craftyish", "gccish"}
+
+    def test_unknown_workload(self):
+        with pytest.raises(ExperimentError, match="unknown workload"):
+            get_workload("specint")
+
+    def test_every_workload_has_train_and_ref(self):
+        for wl in all_workloads():
+            assert "train" in wl.inputs and "ref" in wl.inputs
+
+    def test_deep_workloads_have_ext_inputs(self):
+        for wl in deep_workloads():
+            assert len(wl.ext_names) >= 4
+
+    def test_input_name_ordering(self):
+        wl = get_workload("gzipish")
+        names = wl.input_names
+        assert names[0] == "train" and names[1] == "ref"
+        assert names[2:] == sorted(names[2:], key=lambda n: int(n.split("-")[1]))
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(ExperimentError, match="no input"):
+            get_workload("gzipish").make_input("nope")
+
+
+class TestExecution:
+    def test_all_train_inputs_run(self, tiny_traces):
+        for name, trace in tiny_traces.items():
+            assert len(trace) > 100, f"{name} produced too few branches"
+            assert trace.instructions > len(trace)
+
+    def test_program_compiled_once(self):
+        wl = get_workload("mcfish")
+        assert wl.program() is wl.program()
+
+    def test_deterministic_inputs(self):
+        wl = get_workload("gapish")
+        a = wl.make_input("train", TINY)
+        b = wl.make_input("train", TINY)
+        assert a.data == b.data and a.args == b.args
+
+    def test_deterministic_traces(self):
+        wl = get_workload("vortexish")
+        t1 = capture_trace(wl.program(), wl.make_input("train", TINY))
+        t2 = capture_trace(wl.program(), wl.make_input("train", TINY))
+        assert (t1.sites == t2.sites).all()
+        assert (t1.outcomes == t2.outcomes).all()
+
+    def test_inputs_differ_across_sets(self):
+        wl = get_workload("bzipish")
+        train = wl.make_input("train", TINY)
+        ref = wl.make_input("ref", TINY)
+        assert train.data != ref.data
+
+    def test_scale_changes_size(self):
+        wl = get_workload("parserish")
+        small = wl.make_input("train", 0.02)
+        large = wl.make_input("train", 0.2)
+        assert len(large.data) > len(small.data)
+
+    def test_all_ref_inputs_run(self):
+        for wl in all_workloads():
+            trace = capture_trace(wl.program(), wl.make_input("ref", TINY))
+            assert len(trace) > 100
+
+    def test_all_ext_inputs_run(self):
+        for wl in deep_workloads():
+            for ext in wl.ext_names:
+                trace = capture_trace(wl.program(), wl.make_input(ext, TINY))
+                assert len(trace) > 50, f"{wl.name}/{ext}"
+
+
+class TestPaperIdioms:
+    def test_gzipish_has_loop_exit_branch_in_longest_match(self):
+        program = get_workload("gzipish").program()
+        kinds = {s.kind for s in program.sites_in_function("longest_match")}
+        assert "loop" in kinds  # Figure 7's do-while exit branch.
+
+    def test_gapish_has_type_dispatch_branch(self):
+        program = get_workload("gapish").program()
+        assert program.sites_in_function("sum_handles")  # Figure 6's check.
+
+    def test_gapish_type_mix_changes_outputs(self):
+        wl = get_workload("gapish")
+        machine_out = {}
+        from repro.vm import Machine
+        machine = Machine(wl.program())
+        for input_name in ("train", "ref"):
+            result = machine.run(wl.make_input(input_name, TINY))
+            int_ops, big_ops, _checksum = result.output
+            machine_out[input_name] = big_ops / max(1, int_ops + big_ops)
+        # Ref has far more bignum activity than train (paper's Figure 6 story).
+        assert machine_out["ref"] > machine_out["train"] + 0.1
+
+    def test_gzipish_level_changes_chain_walk(self):
+        # Same data, different pack level -> different dynamic branch counts.
+        from repro.vm import InputSet, Machine
+        wl = get_workload("gzipish")
+        machine = Machine(wl.program())
+        base = wl.make_input("train", TINY)
+        low = machine.run(InputSet.make("t", data=base.data, args=[1]), mode="trace")
+        high = machine.run(InputSet.make("t", data=base.data, args=[9]), mode="trace")
+        assert len(high.packed_trace) > len(low.packed_trace)
+
+    def test_static_branch_counts_reasonable(self):
+        for wl in all_workloads():
+            sites = wl.program().num_sites
+            assert 10 <= sites <= 200, f"{wl.name}: {sites} static branches"
