@@ -13,6 +13,8 @@ raw instrumented execution by design.
 Environment knobs:
 
 * ``REPRO_BENCH_SCALE`` — workload input scale (default 0.4).
+* ``REPRO_BENCH_JOBS`` — worker processes for the one-time cache warm-up
+  (0 = all cores; default 1 = no warm-up pass, artifacts build lazily).
 * ``REPRO_2DPROF_CACHE`` — cache directory (default ~/.cache/repro-2dprof).
 """
 
@@ -32,9 +34,27 @@ def scale_from_env() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
 
 
+def jobs_from_env() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
-    return ExperimentRunner(SuiteConfig(scale=scale_from_env()))
+    """Session runner; with REPRO_BENCH_JOBS != 1, warms the whole artifact
+    grid in one parallel pass so the timed benches measure analysis, not
+    trace generation."""
+    jobs = jobs_from_env()
+    runner = ExperimentRunner(SuiteConfig(scale=scale_from_env(), jobs=jobs))
+    if jobs != 1:
+        from repro.analysis.tables import suite_requirements
+
+        sims, traces = suite_requirements()
+        stats = runner.prefetch(sims, traces)
+        print(
+            f"\n[warm-up] {stats.artifacts} artifacts "
+            f"({stats.traces} traces, {stats.sims} simulations, {stats.jobs} jobs)"
+        )
+    return runner
 
 
 @pytest.fixture(scope="session")

@@ -281,6 +281,55 @@ def table4_rows(runner: ExperimentRunner) -> list[dict]:
 
 
 # ----------------------------------------------------------------------
+# Artifact grids (consumed by the parallel experiment engine)
+# ----------------------------------------------------------------------
+
+
+def figure_requirements(key: str) -> tuple[list[tuple[str, str, str]], list[tuple[str, str]]]:
+    """The artifact grid one figure/table needs: (sim specs, extra traces).
+
+    Sim specs are (workload, input, predictor) triples; each implies its
+    trace.  ``ParallelRunner`` warms this grid before the row builders
+    run, so the serial builders only ever hit a hot cache.
+    """
+    wide = [(wl.name, inp, "gshare") for wl in all_workloads() for inp in ("train", "ref")]
+    deep_inputs = [(wl, inp) for wl in deep_workloads() for inp in wl.input_names]
+    deep_gshare = [(wl.name, inp, "gshare") for wl, inp in deep_inputs]
+    deep_perceptron = [(wl.name, inp, "perceptron") for wl, inp in deep_inputs]
+    if key == "2":
+        return [], []
+    if key in ("3", "4", "5", "10", "t1", "t2"):
+        return wide, []
+    if key in ("11", "12", "13"):
+        return deep_gshare, []
+    if key == "14":
+        return deep_perceptron, []
+    if key == "15":
+        train_gshare = [(wl.name, "train", "gshare") for wl in deep_workloads()]
+        return train_gshare + deep_perceptron, []
+    if key == "t4":
+        ext = [
+            (wl.name, inp, pred)
+            for wl in deep_workloads()
+            for inp in ["train"] + wl.ext_names
+            for pred in ("gshare", "perceptron")
+        ]
+        return ext, []
+    return [], []
+
+
+def suite_requirements() -> tuple[list[tuple[str, str, str]], list[tuple[str, str]]]:
+    """The union grid of every figure/table — one shared warm-up pass."""
+    sims: dict[tuple[str, str, str], None] = {}
+    traces: dict[tuple[str, str], None] = {}
+    for key in ("3", "11", "14", "15", "t4"):
+        fig_sims, fig_traces = figure_requirements(key)
+        sims.update(dict.fromkeys(fig_sims))
+        traces.update(dict.fromkeys(fig_traces))
+    return list(sims), list(traces)
+
+
+# ----------------------------------------------------------------------
 # Renderers
 # ----------------------------------------------------------------------
 

@@ -54,7 +54,19 @@ _FIG_BUILDERS = {
 
 
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
-    return ExperimentRunner(SuiteConfig(scale=args.scale))
+    jobs = getattr(args, "jobs", 1)
+    return ExperimentRunner(SuiteConfig(scale=args.scale, jobs=jobs))
+
+
+def _prefetch(runner: ExperimentRunner, sims, traces=()) -> None:
+    """Warm the artifact cache in parallel when --jobs asks for it."""
+    if runner.config.jobs != 1 and sims:
+        stats = runner.prefetch(sims, traces)
+        print(
+            f"warmed {stats.artifacts} artifacts "
+            f"({stats.traces} traces, {stats.sims} simulations) with {stats.jobs} jobs",
+            file=sys.stderr,
+        )
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -67,6 +79,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
+    _prefetch(runner, [(args.workload, "train", args.predictor)])
     report = runner.profile_2d(args.workload, args.predictor)
     program = get_workload(args.workload).program()
     dependent = report.input_dependent_sites()
@@ -83,6 +96,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
+    target = args.target_predictor or args.predictor
+    _prefetch(
+        runner,
+        [
+            (args.workload, "train", args.predictor),
+            (args.workload, "train", target),
+            (args.workload, "ref", target),
+        ],
+    )
     metrics = runner.evaluate(args.workload, args.predictor, target_predictor=args.target_predictor)
     for key, value in metrics.as_row().items():
         print(f"{key}: {tables.format_fraction(value)}")
@@ -97,7 +119,21 @@ def _cmd_fig(args: argparse.Namespace) -> int:
         print(f"unknown figure {args.figure!r}; known: {', '.join(sorted(_FIG_BUILDERS))}",
               file=sys.stderr)
         return 2
-    print(builder(_make_runner(args)))
+    runner = _make_runner(args)
+    sims, traces = tables.figure_requirements(key)
+    _prefetch(runner, sims, traces)
+    print(builder(runner))
+    return 0
+
+
+def _cmd_warm(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    sims, traces = tables.suite_requirements()
+    stats = runner.prefetch(sims, traces)
+    print(
+        f"cache warm: {stats.artifacts} artifacts "
+        f"({stats.traces} traces, {stats.sims} simulations) with {stats.jobs} jobs"
+    )
     return 0
 
 
@@ -170,9 +206,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list workloads").set_defaults(func=_cmd_list)
 
+    def add_jobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for cache warming (0 = all cores; default 1)")
+
     p = sub.add_parser("profile", help="run 2D-profiling on one workload's train input")
     p.add_argument("workload")
     p.add_argument("--predictor", default="gshare")
+    add_jobs(p)
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("evaluate", help="COV/ACC of 2D-profiling vs train-vs-ref ground truth")
@@ -180,11 +221,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--predictor", default="gshare")
     p.add_argument("--target-predictor", default=None,
                    help="ground-truth predictor (default: same as --predictor)")
+    add_jobs(p)
     p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser("fig", help="print a paper figure/table (2,3,4,5,10..15,t1,t2,t4)")
     p.add_argument("figure")
+    add_jobs(p)
     p.set_defaults(func=_cmd_fig)
+
+    p = sub.add_parser("warm", help="pre-build every artifact the figure suite needs")
+    add_jobs(p)
+    p.set_defaults(func=_cmd_warm)
 
     p = sub.add_parser("series", help="Figure 8 per-slice accuracy series (ASCII)")
     p.add_argument("workload", nargs="?", default="gapish")

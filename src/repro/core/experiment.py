@@ -10,13 +10,17 @@ runs across figures.
 
 from __future__ import annotations
 
+import logging
 import os
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable, Iterable, TypeVar
 
 import numpy as np
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, TraceError
+from repro.cachefs import artifact_lock, atomic_savez
 from repro.core.groundtruth import (
     DEFAULT_MIN_EXECUTIONS,
     DEFAULT_THRESHOLD,
@@ -31,6 +35,10 @@ from repro.predictors.simulate import SimulationResult, simulate
 from repro.trace.capture import capture_trace
 from repro.trace.trace import BranchTrace
 from repro.workloads import get_workload
+
+log = logging.getLogger(__name__)
+
+_A = TypeVar("_A")
 
 #: Named predictor configurations used by the experiments.  "gshare" and
 #: "perceptron" are the paper's exact configurations.
@@ -52,7 +60,11 @@ def default_cache_dir() -> Path:
 
 @dataclass
 class SuiteConfig:
-    """Shared parameters of one experiment campaign."""
+    """Shared parameters of one experiment campaign.
+
+    ``jobs`` is the default worker-process count for :meth:`ExperimentRunner.prefetch`
+    (1 = in-process serial; 0/None = one per CPU).
+    """
 
     scale: float = 1.0
     cache_dir: Path = field(default_factory=default_cache_dir)
@@ -60,6 +72,7 @@ class SuiteConfig:
     dep_threshold: float = DEFAULT_THRESHOLD
     min_executions: int = DEFAULT_MIN_EXECUTIONS
     use_disk_cache: bool = True
+    jobs: int = 1
 
 
 class ExperimentRunner:
@@ -91,19 +104,61 @@ class ExperimentRunner:
     # Artifacts
     # ------------------------------------------------------------------
 
+    def _load_or_compute(
+        self,
+        path: Path,
+        load: Callable[[Path], _A],
+        compute: Callable[[], _A],
+        save: Callable[[Path, _A], None],
+    ) -> _A:
+        """Disk-cache protocol shared by traces and simulations.
+
+        A corrupt or truncated cache entry is treated as a miss: it is
+        logged, recomputed, and atomically overwritten.  Computation of a
+        missing entry holds the artifact's lock so concurrent processes
+        asked for the same artifact do the work once; the cache is
+        re-checked after acquiring the lock because the previous holder
+        usually just published the entry we want.
+        """
+        if not self.config.use_disk_cache:
+            return compute()
+        artifact = self._try_load(path, load)
+        if artifact is not None:
+            return artifact
+        with artifact_lock(path):
+            artifact = self._try_load(path, load)
+            if artifact is not None:
+                return artifact
+            artifact = compute()
+            save(path, artifact)
+        return artifact
+
+    @staticmethod
+    def _try_load(path: Path, load: Callable[[Path], _A]) -> _A | None:
+        if not path.exists():
+            return None
+        try:
+            return load(path)
+        except (TraceError, ExperimentError) as exc:
+            log.warning("corrupt cache entry %s (%s); recomputing", path, exc)
+            return None
+
     def trace(self, workload: str, input_name: str) -> BranchTrace:
         """The branch trace of one (workload, input) run."""
         key = (workload, input_name)
         if key in self._traces:
             return self._traces[key]
-        path = self._trace_path(workload, input_name)
-        if self.config.use_disk_cache and path.exists():
-            trace = BranchTrace.load(path)
-        else:
+
+        def compute() -> BranchTrace:
             wl = get_workload(workload)
-            trace = capture_trace(wl.program(), wl.make_input(input_name, self.config.scale))
-            if self.config.use_disk_cache:
-                trace.save(path)
+            return capture_trace(wl.program(), wl.make_input(input_name, self.config.scale))
+
+        trace = self._load_or_compute(
+            self._trace_path(workload, input_name),
+            BranchTrace.load,
+            compute,
+            lambda path, trace: trace.save(path),
+        )
         self._traces[key] = trace
         return trace
 
@@ -112,21 +167,44 @@ class ExperimentRunner:
         key = (workload, input_name, predictor)
         if key in self._sims:
             return self._sims[key]
-        path = self._sim_path(workload, input_name, predictor)
-        if self.config.use_disk_cache and path.exists():
-            sim = self._load_sim(path)
-        else:
+
+        def compute() -> SimulationResult:
             trace = self.trace(workload, input_name)
-            sim = simulate(_predictor_factory(predictor), trace)
-            if self.config.use_disk_cache:
-                self._save_sim(path, sim)
+            return simulate(_predictor_factory(predictor), trace)
+
+        sim = self._load_or_compute(
+            self._sim_path(workload, input_name, predictor),
+            self._load_sim,
+            compute,
+            self._save_sim,
+        )
         self._sims[key] = sim
         return sim
 
+    def prefetch(
+        self,
+        sims: Iterable[tuple[str, str, str]] = (),
+        traces: Iterable[tuple[str, str]] = (),
+        jobs: int | None = None,
+    ):
+        """Warm the cache for a grid of artifacts, possibly in parallel.
+
+        ``sims`` is an iterable of (workload, input, predictor) triples and
+        ``traces`` of extra (workload, input) pairs not implied by a sim.
+        With ``jobs`` != 1 the work fans out over worker processes with
+        traces computed before the simulations that replay them; see
+        :class:`repro.core.parallel.ParallelRunner`.  Returns its
+        :class:`repro.core.parallel.WarmStats`.
+        """
+        from repro.core.parallel import ParallelRunner
+
+        if jobs is None:
+            jobs = self.config.jobs
+        return ParallelRunner(self, jobs=jobs).warm(sims, traces)
+
     @staticmethod
     def _save_sim(path: Path, sim: SimulationResult) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        np.savez_compressed(
+        atomic_savez(
             path,
             predictor_name=np.bytes_(sim.predictor_name.encode()),
             num_sites=np.int64(sim.num_sites),
@@ -146,7 +224,7 @@ class ExperimentRunner:
                     exec_counts=data["exec_counts"],
                     correct_counts=data["correct_counts"],
                 )
-        except (KeyError, ValueError, OSError) as exc:
+        except (KeyError, ValueError, OSError, EOFError, zipfile.BadZipFile) as exc:
             raise ExperimentError(f"cannot load simulation from {path}: {exc}") from exc
 
     # ------------------------------------------------------------------

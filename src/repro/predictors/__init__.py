@@ -21,7 +21,7 @@ from repro.predictors.loopp import LoopPredictor
 from repro.predictors.perceptron import Perceptron
 from repro.predictors.tage import Tage
 from repro.predictors.tournament import Tournament
-from repro.predictors.simulate import SimulationResult, simulate
+from repro.predictors.simulate import SimulationResult, simulate, simulate_reference
 
 PREDICTOR_FACTORIES = {
     "always-taken": AlwaysTaken,
@@ -72,6 +72,7 @@ __all__ = [
     "Tournament",
     "SimulationResult",
     "simulate",
+    "simulate_reference",
     "paper_gshare",
     "paper_perceptron",
     "make_predictor",

@@ -57,8 +57,30 @@ class SimulationResult:
         return float(self.correct_counts[site_id]) / executed
 
 
-def simulate(predictor: Predictor, trace: BranchTrace, reset: bool = True) -> SimulationResult:
-    """Replay ``trace`` through ``predictor`` from (by default) a cold start."""
+def simulate(
+    predictor: Predictor, trace: BranchTrace, reset: bool = True, vectorize: bool = True
+) -> SimulationResult:
+    """Replay ``trace`` through ``predictor`` from (by default) a cold start.
+
+    Table-lookup predictors (bimodal, gshare) take an exact vectorized
+    fast path (:mod:`repro.predictors.vectorized`); every other predictor
+    — and any caller passing ``vectorize=False`` — uses the Python-loop
+    reference implementation.  The two are bit-identical; the
+    differential test harness enforces it.
+    """
+    if vectorize:
+        from repro.predictors.vectorized import try_simulate_vectorized
+
+        result = try_simulate_vectorized(predictor, trace, reset=reset)
+        if result is not None:
+            return result
+    return simulate_reference(predictor, trace, reset=reset)
+
+
+def simulate_reference(
+    predictor: Predictor, trace: BranchTrace, reset: bool = True
+) -> SimulationResult:
+    """The branch-at-a-time reference replay (ground truth for fast paths)."""
     if reset:
         predictor.reset()
     sites = trace.sites.tolist()

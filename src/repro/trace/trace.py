@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from repro.cachefs import atomic_savez
 from repro.errors import TraceError
 
 _FORMAT_VERSION = 1
@@ -103,10 +105,8 @@ class BranchTrace:
     # ------------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Write the trace as a compressed ``.npz`` file."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        np.savez_compressed(
+        """Write the trace as a compressed ``.npz`` file (atomically)."""
+        atomic_savez(
             path,
             version=np.int64(_FORMAT_VERSION),
             program=np.bytes_(self.program.encode()),
@@ -134,5 +134,5 @@ class BranchTrace:
                     sites=data["sites"],
                     outcomes=data["outcomes"],
                 )
-        except (KeyError, ValueError, OSError) as exc:
+        except (KeyError, ValueError, OSError, EOFError, zipfile.BadZipFile) as exc:
             raise TraceError(f"cannot load trace from {path}: {exc}") from exc

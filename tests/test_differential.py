@@ -1,0 +1,245 @@
+"""Differential test harness: independent implementations must agree exactly.
+
+The suite has three pairs of independently implemented paths that are
+required to be interchangeable:
+
+* the branch-at-a-time reference replay
+  (:func:`repro.predictors.simulate.simulate_reference`) vs the vectorized
+  segmented-scan replay (:mod:`repro.predictors.vectorized`);
+* the online profiler (:class:`TwoDProfiler`, one ``record`` per branch)
+  vs the offline bincount profiler (:func:`profile_trace`);
+* ``simulate()``'s dispatch, which must pick the fast path only when it
+  is exact.
+
+Each pair is driven with ~200 seeded random traces mixing stationary,
+phased, patterned and loop-shaped branch sites, and the results are
+compared *exactly* (counts, verdict sets, end-of-run predictor state) or
+to float64 round-off (accumulated statistics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.profiler2d import ProfilerConfig, TwoDProfiler, profile_trace
+from repro.predictors import Bimodal, Gshare, Perceptron, simulate, simulate_reference
+from repro.predictors.vectorized import try_simulate_vectorized
+from repro.trace.trace import BranchTrace
+from repro.trace.synthetic import (
+    SiteSpec,
+    bernoulli_site,
+    interleave_sites,
+    loop_site,
+    pattern_site,
+)
+
+# ----------------------------------------------------------------------
+# Random trace generation
+# ----------------------------------------------------------------------
+
+
+def random_trace(seed: int) -> BranchTrace:
+    """A deterministic random trace mixing the site shapes real code has."""
+    rng = np.random.default_rng(seed)
+    num_sites = int(rng.integers(3, 32))
+    streams: dict[int, np.ndarray] = {}
+    for site in range(num_sites):
+        kind = int(rng.integers(0, 4))
+        n = int(rng.integers(20, 320))
+        if kind == 0:
+            spec = SiteSpec.stationary(float(rng.uniform(0.02, 0.98)))
+            streams[site] = bernoulli_site(n, spec, seed * 1009 + site)
+        elif kind == 1:
+            spec = SiteSpec.two_phase(
+                float(rng.uniform(0.05, 0.5)), float(rng.uniform(0.5, 0.95))
+            )
+            streams[site] = bernoulli_site(n, spec, seed * 1009 + site)
+        elif kind == 2:
+            pattern = "".join(rng.choice(["T", "N"], size=int(rng.integers(2, 7))))
+            streams[site] = pattern_site(pattern, max(1, n // len(pattern)))
+        else:
+            counts = [int(c) for c in rng.integers(1, 9, size=max(1, n // 4))]
+            streams[site] = loop_site(counts)
+        if streams[site].size == 0:
+            streams[site] = np.ones(1, dtype=np.uint8)
+    return interleave_sites(streams, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Reference replay vs vectorized replay
+# ----------------------------------------------------------------------
+
+#: Includes heavily aliased tables (2-bit bimodal, 3-bit gshare) because
+#: aliasing is exactly where an index-computation bug would hide.
+PREDICTOR_CONFIGS = [
+    ("bimodal-tiny", lambda: Bimodal(table_bits=2)),
+    ("bimodal-paper", lambda: Bimodal()),
+    ("gshare-tiny", lambda: Gshare(history_bits=3)),
+    ("gshare-wide-table", lambda: Gshare(history_bits=4, table_bits=6)),
+    ("gshare-paper", lambda: Gshare(history_bits=14)),
+]
+
+#: 5 predictor configs x 5 batches x 8 seeds = 200 distinct random traces.
+SEED_BATCHES = [tuple(range(b * 8, (b + 1) * 8)) for b in range(5)]
+
+
+def _assert_sim_equal(ref, vec) -> None:
+    np.testing.assert_array_equal(ref.correct, vec.correct)
+    np.testing.assert_array_equal(ref.exec_counts, vec.exec_counts)
+    np.testing.assert_array_equal(ref.correct_counts, vec.correct_counts)
+    assert ref.predictor_name == vec.predictor_name
+    assert ref.num_sites == vec.num_sites
+
+
+@pytest.mark.parametrize("config_index,name", [(i, name) for i, (name, _) in enumerate(PREDICTOR_CONFIGS)])
+@pytest.mark.parametrize("batch", SEED_BATCHES, ids=lambda b: f"seeds{b[0]}-{b[-1]}")
+def test_vectorized_matches_reference(config_index: int, name: str, batch: tuple[int, ...]):
+    _, factory = PREDICTOR_CONFIGS[config_index]
+    for seed in batch:
+        trace = random_trace(config_index * 1000 + seed)
+        ref_pred, vec_pred = factory(), factory()
+        ref = simulate_reference(ref_pred, trace)
+        vec = try_simulate_vectorized(vec_pred, trace)
+        assert vec is not None, f"{name} should take the vectorized path"
+        _assert_sim_equal(ref, vec)
+        # End-of-run predictor state must match so chained replays agree.
+        assert ref_pred.table == vec_pred.table, f"seed {seed}"
+        if isinstance(ref_pred, Gshare):
+            assert ref_pred.history == vec_pred.history, f"seed {seed}"
+
+
+@pytest.mark.parametrize("name,factory", PREDICTOR_CONFIGS)
+def test_vectorized_matches_reference_chained(name: str, factory):
+    """reset=False chaining across trace fragments stays exact."""
+    for seed in (901, 902, 903):
+        trace = random_trace(seed)
+        cut = len(trace) // 3
+        parts = [(0, cut), (cut, 2 * cut), (2 * cut, len(trace))]
+        ref_pred, vec_pred = factory(), factory()
+        ref_pred.reset()
+        vec_pred.reset()
+        for start, stop in parts:
+            fragment = trace.slice_view(start, stop)
+            ref = simulate_reference(ref_pred, fragment, reset=False)
+            vec = try_simulate_vectorized(vec_pred, fragment, reset=False)
+            assert vec is not None
+            _assert_sim_equal(ref, vec)
+        assert ref_pred.table == vec_pred.table
+        if isinstance(ref_pred, Gshare):
+            assert ref_pred.history == vec_pred.history
+
+
+def test_vectorized_adversarial_streams():
+    """Saturating and alternating streams exercise the constant-retirement
+    optimization's edge cases (instant collapse vs never collapsing)."""
+    n = 4000
+    for name, outcomes in [
+        ("all-taken", np.ones(n, dtype=np.uint8)),
+        ("all-not-taken", np.zeros(n, dtype=np.uint8)),
+        ("alternating", (np.arange(n) & 1).astype(np.uint8)),
+    ]:
+        sites = (np.arange(n) % 7).astype(np.int32)
+        trace = BranchTrace(
+            program="<adversarial>", input_name=name, num_sites=7,
+            sites=sites, outcomes=outcomes,
+        )
+        for _, factory in PREDICTOR_CONFIGS:
+            ref_pred, vec_pred = factory(), factory()
+            ref = simulate_reference(ref_pred, trace)
+            vec = try_simulate_vectorized(vec_pred, trace)
+            assert vec is not None
+            _assert_sim_equal(ref, vec)
+            assert ref_pred.table == vec_pred.table
+
+
+def test_vectorized_empty_trace():
+    trace = BranchTrace(
+        program="<empty>", input_name="none", num_sites=4,
+        sites=np.zeros(0, dtype=np.int32), outcomes=np.zeros(0, dtype=np.uint8),
+    )
+    for _, factory in PREDICTOR_CONFIGS:
+        ref = simulate_reference(factory(), trace)
+        vec = try_simulate_vectorized(factory(), trace)
+        assert vec is not None
+        _assert_sim_equal(ref, vec)
+
+
+def test_simulate_dispatch_only_when_exact():
+    """simulate() takes the fast path for plain Bimodal/Gshare only."""
+
+    class TweakedBimodal(Bimodal):
+        """A subclass may change the update rule; must NOT be vectorized."""
+
+    trace = random_trace(77)
+    assert try_simulate_vectorized(TweakedBimodal(), trace) is None
+    assert try_simulate_vectorized(Perceptron(num_entries=16, history_bits=8), trace) is None
+
+    # Dispatch agrees with both explicit paths.
+    auto = simulate(Gshare(history_bits=6), trace)
+    forced_ref = simulate(Gshare(history_bits=6), trace, vectorize=False)
+    _assert_sim_equal(forced_ref, auto)
+
+
+# ----------------------------------------------------------------------
+# Online profiler vs offline profiler
+# ----------------------------------------------------------------------
+
+PROFILER_CONFIGS = [
+    ProfilerConfig(slice_size=100),
+    ProfilerConfig(slice_size=230),
+    ProfilerConfig(slice_size=100, use_fir=False),
+]
+
+
+@pytest.mark.parametrize("config_index", range(len(PROFILER_CONFIGS)))
+@pytest.mark.parametrize("seed_base", [0, 10, 20])
+def test_online_matches_offline(config_index: int, seed_base: int):
+    config = PROFILER_CONFIGS[config_index]
+    for seed in range(seed_base, seed_base + 10):
+        trace = random_trace(5000 + seed)
+        sim = simulate(Gshare(history_bits=8), trace)
+
+        online = TwoDProfiler(trace.num_sites, config)
+        for site, correct in zip(trace.sites.tolist(), sim.correct.tolist()):
+            online.record(site, correct)
+        online_report = online.finish()
+
+        offline_report = profile_trace(trace, simulation=sim, config=config)
+
+        assert online_report.overall_accuracy == pytest.approx(
+            offline_report.overall_accuracy, abs=1e-12
+        )
+        for site in range(trace.num_sites):
+            a = online_report.stats[site]
+            b = offline_report.stats[site]
+            assert a.N == b.N, f"seed {seed} site {site}"
+            assert a.NPAM == b.NPAM, f"seed {seed} site {site}"
+            assert a.has_lpa == b.has_lpa, f"seed {seed} site {site}"
+            assert a.SPA == pytest.approx(b.SPA, abs=1e-12), f"seed {seed} site {site}"
+            assert a.SSPA == pytest.approx(b.SSPA, abs=1e-12), f"seed {seed} site {site}"
+            assert a.LPA == pytest.approx(b.LPA, abs=1e-12), f"seed {seed} site {site}"
+
+        assert online_report.profiled_sites() == offline_report.profiled_sites()
+        assert (
+            online_report.input_dependent_sites()
+            == offline_report.input_dependent_sites()
+        ), f"seed {seed}: verdict sets diverge"
+
+
+def test_three_way_agreement_on_real_workload(tiny_runner):
+    """Reference sim, vectorized sim and both profilers agree end to end on
+    a real compiled-workload trace, not just synthetic streams."""
+    trace = tiny_runner.trace("gzipish", "train")
+    ref = simulate(Gshare(history_bits=14), trace, vectorize=False)
+    vec = simulate(Gshare(history_bits=14), trace)
+    _assert_sim_equal(ref, vec)
+
+    config = ProfilerConfig(slice_size=max(500, len(trace) // 40))
+    online = TwoDProfiler(trace.num_sites, config)
+    for site, correct in zip(trace.sites.tolist(), vec.correct.tolist()):
+        online.record(site, correct)
+    online_report = online.finish()
+    offline_report = profile_trace(trace, simulation=vec, config=config)
+    assert online_report.input_dependent_sites() == offline_report.input_dependent_sites()
+    assert online_report.profiled_sites() == offline_report.profiled_sites()
