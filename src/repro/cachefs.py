@@ -72,6 +72,29 @@ def atomic_savez(path: str | Path, **arrays) -> None:
         raise
 
 
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Publish arbitrary bytes with the same all-or-nothing guarantee.
+
+    Used for non-``.npz`` artifacts (e.g. the streaming service's session
+    manifest): write to a ``*.tmp`` sibling, fsync, rename over ``path``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=TMP_SUFFIX
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+
+
 def lock_path_for(path: str | Path) -> Path:
     """The lock sidecar protecting writes to ``path``."""
     path = Path(path)

@@ -8,6 +8,8 @@ Subcommands map to the paper's experiments::
     repro-2dprof fig 3                      # print a figure/table's rows
     repro-2dprof series gapish              # Figure 8 ASCII time series
     repro-2dprof overhead gzipish           # Figure 16 instrumentation costs
+    repro-2dprof serve                      # streaming profiling service
+    repro-2dprof stream gzipish --verify    # replay a run into the service
 """
 
 from __future__ import annotations
@@ -60,7 +62,7 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
 
 def _prefetch(runner: ExperimentRunner, sims, traces=()) -> None:
     """Warm the artifact cache in parallel when --jobs asks for it."""
-    if runner.config.jobs != 1 and sims:
+    if runner.config.jobs != 1 and (sims or traces):
         stats = runner.prefetch(sims, traces)
         print(
             f"warmed {stats.artifacts} artifacts "
@@ -139,6 +141,7 @@ def _cmd_warm(args: argparse.Namespace) -> int:
 
 def _cmd_series(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
+    _prefetch(runner, [(args.workload, "train", args.predictor)])
     varying, flat, _overall = figure8_series(runner, args.workload, args.predictor)
     print(render_ascii_series(varying))
     print()
@@ -188,11 +191,94 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_overhead(args: argparse.Namespace) -> int:
-    rows = measure_overheads(args.workload, scale=args.scale)
-    print(f"{args.workload} (train input):")
-    for row in rows:
-        print(f"  {row.mode:10s} {row.seconds:7.3f}s  x{row.normalized:.2f}")
+    runner = _make_runner(args)
+    _prefetch(runner, [], traces=[(wl, "train") for wl in args.workloads])
+    for workload in args.workloads:
+        rows = measure_overheads(workload, scale=args.scale)
+        print(f"{workload} (train input):")
+        for row in rows:
+            print(f"  {row.mode:10s} {row.seconds:7.3f}s  x{row.normalized:.2f}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.experiment import default_cache_dir
+    from repro.service.server import ProfilingServer, ServiceLimits, serve_until_signalled
+
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None:
+        checkpoint_dir = default_cache_dir() / "service"
+    server = ProfilingServer(
+        host=args.host,
+        port=args.port,
+        checkpoint_dir=None if checkpoint_dir == "" else checkpoint_dir,
+        limits=ServiceLimits(
+            max_sessions=args.max_sessions,
+            max_batch_events=args.max_batch_events,
+            idle_timeout=args.idle_timeout,
+        ),
+    )
+    asyncio.run(serve_until_signalled(server))
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.core.profiler2d import ProfilerConfig, profile_trace
+    from repro.service.client import StreamingClient, stream_simulation
+    from repro.service.protocol import serialize_report
+
+    runner = _make_runner(args)
+    _prefetch(runner, [(args.workload, args.input, args.predictor)])
+    trace = runner.trace(args.workload, args.input)
+    sim = runner.simulation(args.workload, args.input, args.predictor)
+    config = ProfilerConfig().resolve(total_branches=len(trace))
+    session = args.session or (
+        f"{args.workload}-{args.input}-{args.predictor}-s{args.scale:g}"
+    )
+    with StreamingClient(args.host, args.port) as client:
+        outcome = stream_simulation(
+            client,
+            session,
+            trace.sites,
+            sim.correct,
+            config,
+            batch_size=args.batch,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+            stop_after=args.stop_after_events,
+            num_sites=trace.num_sites,
+        )
+        if not outcome.completed:
+            print(f"{session}: paused at {outcome.events_total}/{len(trace)} events "
+                  f"(checkpointed on the server); continue with --resume")
+            return 0
+        remote = client.query(session)["report"]
+        program = get_workload(args.workload).program()
+        verdicts = {v["site_id"]: v for v in remote["verdicts"]}
+        dependent = remote["input_dependent"]
+        print(f"{args.workload}: profiled {len(remote['profiled'])} branches "
+              f"({program.num_sites} static), overall accuracy {remote['overall_accuracy']:.3f}")
+        print(f"predicted input-dependent ({len(dependent)}):")
+        for site in dependent:
+            verdict = verdicts[site]
+            site_info = program.sites[site]
+            print(f"  {site_info.label():28s} kind={site_info.kind:7s} "
+                  f"mean={verdict['mean']:.3f} std={verdict['std']:.3f} "
+                  f"pam={verdict['pam_fraction']:.2f}")
+        code = 0
+        if args.verify:
+            offline = serialize_report(profile_trace(trace, simulation=sim, config=config))
+            if remote == offline:
+                print("verify: streamed report is bit-identical to offline profile_trace")
+            else:
+                print("verify: streamed report DIFFERS from offline profile_trace",
+                      file=sys.stderr)
+                code = 1
+        if code == 0:
+            client.close_session(session)
+    return code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -236,11 +322,48 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("series", help="Figure 8 per-slice accuracy series (ASCII)")
     p.add_argument("workload", nargs="?", default="gapish")
     p.add_argument("--predictor", default="gshare")
+    add_jobs(p)
     p.set_defaults(func=_cmd_series)
 
     p = sub.add_parser("overhead", help="Figure 16 instrumentation overhead")
-    p.add_argument("workload", nargs="?", default="gzipish")
+    p.add_argument("workloads", nargs="*", default=["gzipish"])
+    add_jobs(p)
     p.set_defaults(func=_cmd_overhead)
+
+    p = sub.add_parser("serve", help="run the streaming profiling service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421,
+                   help="TCP port (0 = pick a free one; default 7421)")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="session checkpoint directory "
+                        "(default <cache>/service; '' disables checkpointing)")
+    p.add_argument("--idle-timeout", type=float, default=None,
+                   help="seconds before an idle session is checkpointed and evicted")
+    p.add_argument("--max-sessions", type=int, default=256)
+    p.add_argument("--max-batch-events", type=int, default=1 << 20)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("stream", help="replay a workload run into the service, live")
+    p.add_argument("workload")
+    p.add_argument("--input", default="train")
+    p.add_argument("--predictor", default="gshare")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421)
+    p.add_argument("--session", default=None,
+                   help="session name (default <workload>-<input>-<predictor>-s<scale>)")
+    p.add_argument("--batch", type=int, default=8192, help="events per wire batch")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="request a server checkpoint every N batches (0 = never)")
+    p.add_argument("--stop-after-events", type=int, default=None,
+                   help="stop (and checkpoint) after sending N events — for "
+                        "interrupted-producer testing")
+    p.add_argument("--resume", action="store_true",
+                   help="resume the session from the server's checkpointed offset")
+    p.add_argument("--verify", action="store_true",
+                   help="compare the streamed report bit-for-bit against offline "
+                        "profile_trace; non-zero exit on mismatch")
+    add_jobs(p)
+    p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser("whatif", help="predication policy comparison (profile train, run ref)")
     p.add_argument("workloads", nargs="*", default=["gzipish", "gapish", "vortexish"])

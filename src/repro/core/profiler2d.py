@@ -211,18 +211,43 @@ class TwoDReport:
         return np.nonzero(valid)[0], column[valid]
 
 
+#: On-disk / over-the-wire profiler-state format version (see
+#: :meth:`TwoDProfiler.state_dict`).  Bump on any layout change.
+PROFILER_STATE_VERSION = 1
+
+#: Array fields of the serialized profiler state, in canonical order.
+_STATE_ARRAYS = ("N", "SPA", "SSPA", "NPAM", "LPA", "has_lpa",
+                 "exec_counter", "predict_counter")
+
+
 class TwoDProfiler:
-    """Online 2D-profiler: one :meth:`record` call per dynamic branch."""
+    """Online 2D-profiler: one :meth:`record` call per dynamic branch.
+
+    State lives in per-site numpy arrays (the columns of Figure 9a), which
+    makes three things cheap: batched ingestion (:meth:`record_batch`
+    folds whole event batches with bincounts, bit-identical to the scalar
+    path), snapshotting (:meth:`state_dict` returns plain arrays that
+    round-trip through ``.npz``), and resuming (:meth:`from_state`
+    reconstructs a profiler that continues byte-identically — the
+    streaming service's checkpoint/resume is built on this pair).
+    """
 
     def __init__(self, num_sites: int, config: ProfilerConfig):
         if config.slice_size is None:
             raise ExperimentError("online profiling needs an explicit slice_size")
         self.num_sites = num_sites
         self.config = config.resolve(total_branches=0)
-        self.stats = [BranchSliceStats() for _ in range(num_sites)]
         self._slice_size = self.config.slice_size
         self._exec_threshold = self.config.exec_threshold
         self._use_fir = self.config.use_fir
+        self._N = np.zeros(num_sites, dtype=np.int64)
+        self._SPA = np.zeros(num_sites, dtype=np.float64)
+        self._SSPA = np.zeros(num_sites, dtype=np.float64)
+        self._NPAM = np.zeros(num_sites, dtype=np.int64)
+        self._LPA = np.zeros(num_sites, dtype=np.float64)
+        self._has_lpa = np.full(num_sites, self.config.fir_cold_start)
+        self._exec = np.zeros(num_sites, dtype=np.int64)
+        self._pred = np.zeros(num_sites, dtype=np.int64)
         self._in_slice = 0
         self.total_branches = 0
         self.total_correct = 0
@@ -230,12 +255,32 @@ class TwoDProfiler:
         self._slice_overall: list[float] = []
         self._slice_correct = 0
 
+    @property
+    def stats(self) -> list[BranchSliceStats]:
+        """A snapshot view of the per-branch Figure 9a variables.
+
+        Built on demand from the array state; mutating the returned
+        objects does not feed back into the profiler.
+        """
+        return [
+            BranchSliceStats(
+                N=int(self._N[site]),
+                SPA=float(self._SPA[site]),
+                SSPA=float(self._SSPA[site]),
+                NPAM=int(self._NPAM[site]),
+                LPA=float(self._LPA[site]),
+                exec_counter=int(self._exec[site]),
+                predict_counter=int(self._pred[site]),
+                has_lpa=bool(self._has_lpa[site]),
+            )
+            for site in range(self.num_sites)
+        ]
+
     def record(self, site_id: int, correct: int) -> None:
         """Observe one dynamic branch: was the prediction correct?"""
-        stats = self.stats[site_id]
-        stats.exec_counter += 1
+        self._exec[site_id] += 1
         if correct:
-            stats.predict_counter += 1
+            self._pred[site_id] += 1
             self.total_correct += 1
             self._slice_correct += 1
         self.total_branches += 1
@@ -243,19 +288,165 @@ class TwoDProfiler:
         if self._in_slice >= self._slice_size:
             self._end_slice()
 
+    def record_batch(self, sites: np.ndarray, correct: np.ndarray) -> None:
+        """Fold a batch of dynamic branches, bit-identical to a record() loop.
+
+        ``sites[i]`` is the static site id of the *i*-th branch in the
+        batch and ``correct[i]`` is 1 if its prediction was right.  The
+        batch is split at slice boundaries and each segment is folded with
+        vectorized bincounts; because the per-slice arithmetic is the same
+        float operations in the same order, the end state is exactly what
+        the one-event-at-a-time path produces.
+        """
+        sites = np.asarray(sites)
+        correct = np.asarray(correct)
+        if sites.shape != correct.shape:
+            raise ExperimentError("sites and correct must have the same length")
+        n = int(sites.size)
+        if n == 0:
+            return
+        if sites.size and (int(sites.min()) < 0 or int(sites.max()) >= self.num_sites):
+            raise ExperimentError("batch references a site id beyond num_sites")
+        correct_int = correct.astype(np.int64)
+        pos = 0
+        while pos < n:
+            take = min(self._slice_size - self._in_slice, n - pos)
+            chunk = sites[pos:pos + take]
+            chunk_correct = correct_int[pos:pos + take]
+            self._exec += np.bincount(chunk, minlength=self.num_sites)
+            self._pred += np.bincount(
+                chunk, weights=chunk_correct, minlength=self.num_sites
+            ).astype(np.int64)
+            n_correct = int(chunk_correct.sum())
+            self.total_correct += n_correct
+            self._slice_correct += n_correct
+            self.total_branches += take
+            self._in_slice += take
+            pos += take
+            if self._in_slice >= self._slice_size:
+                self._end_slice()
+
     def _end_slice(self) -> None:
+        qualified = self._exec > self._exec_threshold
+        any_qualified = bool(qualified.any())
         if self._series_rows is not None:
             row = np.full(self.num_sites, np.nan)
-            for site, stats in enumerate(self.stats):
-                if stats.exec_counter > self._exec_threshold:
-                    row[site] = stats.predict_counter / stats.exec_counter
+            if any_qualified:
+                row[qualified] = self._pred[qualified] / self._exec[qualified]
             self._series_rows.append(row)
         self._slice_overall.append(self._slice_correct / self._in_slice if self._in_slice else 0.0)
         self._slice_correct = 0
-        for stats in self.stats:
-            if stats.exec_counter:
-                stats.end_slice(self._exec_threshold, self._use_fir, self.config.fir_cold_start)
+        if any_qualified:
+            accuracy = self._pred[qualified] / self._exec[qualified]
+            if self._use_fir:
+                filtered = np.where(
+                    self._has_lpa[qualified], (accuracy + self._LPA[qualified]) / 2.0, accuracy
+                )
+            else:
+                filtered = accuracy
+            self._has_lpa[qualified] = True
+            self._N[qualified] += 1
+            self._SPA[qualified] += filtered
+            self._SSPA[qualified] += filtered * filtered
+            running_mean = self._SPA[qualified] / self._N[qualified]
+            self._NPAM[qualified] += (filtered > running_mean + PAM_EPSILON).astype(np.int64)
+            self._LPA[qualified] = filtered
+        self._exec[:] = 0
+        self._pred[:] = 0
         self._in_slice = 0
+
+    # ------------------------------------------------------------------
+    # Serialization (checkpoint/resume)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """The complete profiler state as numpy values (``.npz``-ready).
+
+        :meth:`from_state` reconstructs a profiler from this dict that
+        continues — and finishes — byte-identically.  Every field is a
+        numpy scalar or array so the dict can go straight through
+        ``savez``/``load`` without pickling.
+        """
+        thresholds = self.config.thresholds
+        mean_th = np.nan if thresholds.mean_th is None else thresholds.mean_th
+        series = (
+            np.array(self._series_rows)
+            if self._series_rows
+            else np.zeros((0, self.num_sites), dtype=np.float64)
+        )
+        return {
+            "state_version": np.int64(PROFILER_STATE_VERSION),
+            "num_sites": np.int64(self.num_sites),
+            "slice_size": np.int64(self._slice_size),
+            "exec_threshold": np.int64(self._exec_threshold),
+            "use_fir": np.bool_(self.config.use_fir),
+            "fir_cold_start": np.bool_(self.config.fir_cold_start),
+            "pam_exact": np.bool_(self.config.pam_exact),
+            "keep_series": np.bool_(self.config.keep_series),
+            "mean_th": np.float64(mean_th),
+            "std_th": np.float64(thresholds.std_th),
+            "pam_th": np.float64(thresholds.pam_th),
+            "N": self._N.copy(),
+            "SPA": self._SPA.copy(),
+            "SSPA": self._SSPA.copy(),
+            "NPAM": self._NPAM.copy(),
+            "LPA": self._LPA.copy(),
+            "has_lpa": self._has_lpa.copy(),
+            "exec_counter": self._exec.copy(),
+            "predict_counter": self._pred.copy(),
+            "in_slice": np.int64(self._in_slice),
+            "total_branches": np.int64(self.total_branches),
+            "total_correct": np.int64(self.total_correct),
+            "slice_correct": np.int64(self._slice_correct),
+            "series": series,
+            "slice_overall": np.asarray(self._slice_overall, dtype=np.float64),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TwoDProfiler":
+        """Rebuild a profiler from a :meth:`state_dict` snapshot."""
+        try:
+            version = int(state["state_version"])
+            if version != PROFILER_STATE_VERSION:
+                raise ExperimentError(f"unsupported profiler state version {version}")
+            num_sites = int(state["num_sites"])
+            mean_th = float(state["mean_th"])
+            config = ProfilerConfig(
+                slice_size=int(state["slice_size"]),
+                exec_threshold=int(state["exec_threshold"]),
+                thresholds=TestThresholds(
+                    mean_th=None if np.isnan(mean_th) else mean_th,
+                    std_th=float(state["std_th"]),
+                    pam_th=float(state["pam_th"]),
+                ),
+                use_fir=bool(state["use_fir"]),
+                fir_cold_start=bool(state["fir_cold_start"]),
+                pam_exact=bool(state["pam_exact"]),
+                keep_series=bool(state["keep_series"]),
+            )
+            profiler = cls(num_sites, config)
+            for name, target in zip(
+                _STATE_ARRAYS,
+                ("_N", "_SPA", "_SSPA", "_NPAM", "_LPA", "_has_lpa", "_exec", "_pred"),
+            ):
+                array = np.asarray(state[name])
+                if array.shape != (num_sites,):
+                    raise ExperimentError(f"state array {name!r} has wrong shape")
+                template = getattr(profiler, target)
+                setattr(profiler, target, array.astype(template.dtype, copy=True))
+            profiler._in_slice = int(state["in_slice"])
+            profiler.total_branches = int(state["total_branches"])
+            profiler.total_correct = int(state["total_correct"])
+            profiler._slice_correct = int(state["slice_correct"])
+            series = np.asarray(state["series"], dtype=np.float64)
+            if series.ndim != 2 or series.shape[1] != num_sites:
+                raise ExperimentError("state array 'series' has wrong shape")
+            if profiler._series_rows is not None:
+                profiler._series_rows = [row.copy() for row in series]
+            profiler._slice_overall = [float(v) for v in np.asarray(state["slice_overall"])]
+            return profiler
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ExperimentError(f"malformed profiler state: {exc}") from exc
 
     def finish(self) -> TwoDReport:
         """Close the run (folding a sufficiently full final slice) and report.
@@ -265,6 +456,12 @@ class TwoDProfiler:
         """
         if self._in_slice >= self._slice_size // 2:
             self._end_slice()
+        elif self._in_slice:
+            # A dropped tail leaves no trace: clear the intra-slice
+            # scratch so the report matches the offline path exactly.
+            self._exec[:] = 0
+            self._pred[:] = 0
+            self._in_slice = 0
         overall = self.total_correct / self.total_branches if self.total_branches else 0.0
         series = np.array(self._series_rows) if self._series_rows is not None and self._series_rows else None
         slice_overall = np.array(self._slice_overall) if self._slice_overall else None

@@ -61,3 +61,11 @@ class TraceError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment specification or cached artifact is invalid."""
+
+
+class ServiceError(ReproError):
+    """Streaming-service failure (session, checkpoint, or transport)."""
+
+
+class ProtocolError(ServiceError):
+    """A wire frame is malformed, truncated, or violates a protocol limit."""

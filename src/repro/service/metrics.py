@@ -1,0 +1,53 @@
+"""Observability counters for the streaming service.
+
+One :class:`ServiceMetrics` instance lives on the server; every mutation
+happens on the event loop thread, so plain ints are race-free.  The
+``stats`` control frame returns :meth:`snapshot`, which is the service's
+``/metrics`` endpoint in JSON form.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ServiceMetrics:
+    """Monotonic counters plus a derived events/sec rate."""
+
+    connections_accepted: int = 0
+    connections_open: int = 0
+    sessions_opened: int = 0
+    sessions_resumed: int = 0
+    sessions_closed: int = 0
+    sessions_evicted: int = 0
+    events_total: int = 0
+    frames_total: int = 0
+    frames_rejected: int = 0
+    checkpoints_written: int = 0
+    queries_served: int = 0
+    started_at: float = field(default_factory=time.monotonic)
+
+    def uptime(self) -> float:
+        return time.monotonic() - self.started_at
+
+    def snapshot(self, active_sessions: int = 0) -> dict:
+        """The stats-frame payload: every counter plus derived rates."""
+        uptime = self.uptime()
+        return {
+            "uptime_seconds": uptime,
+            "active_sessions": active_sessions,
+            "connections_accepted": self.connections_accepted,
+            "connections_open": self.connections_open,
+            "sessions_opened": self.sessions_opened,
+            "sessions_resumed": self.sessions_resumed,
+            "sessions_closed": self.sessions_closed,
+            "sessions_evicted": self.sessions_evicted,
+            "events_total": self.events_total,
+            "events_per_second": self.events_total / uptime if uptime > 0 else 0.0,
+            "frames_total": self.frames_total,
+            "frames_rejected": self.frames_rejected,
+            "checkpoints_written": self.checkpoints_written,
+            "queries_served": self.queries_served,
+        }

@@ -1,0 +1,488 @@
+"""Asyncio server: live 2D-profiling over the wire.
+
+One :class:`ProfilingServer` multiplexes many concurrent *sessions*, each
+owning an incremental :class:`~repro.core.profiler2d.TwoDProfiler` fed by
+``record_batch``.  Clients speak the length-prefixed protocol of
+:mod:`repro.service.protocol`; every frame gets a JSON reply, so the
+stream is strictly request-reply — that, plus the per-frame batch/size
+limits in :class:`ServiceLimits`, is the backpressure story: a client can
+never have more than one unacknowledged batch in flight and the server
+never buffers more than one frame per connection.
+
+Robustness rules:
+
+* a malformed *payload* (bad JSON, bad counts, unknown op, site id out of
+  range) is rejected with an error reply and counted in
+  ``frames_rejected`` — it never kills the server or even the connection;
+* a corrupt *header* means the byte stream cannot be re-synchronized, so
+  only that connection is closed;
+* sessions idle past ``idle_timeout`` are checkpointed (when a checkpoint
+  directory is configured) and evicted;
+* :meth:`drain` — wired to SIGTERM by the CLI — stops accepting, writes a
+  final checkpoint for every live session, and shuts down, so a deploy
+  restart loses nothing;
+* a SIGKILL loses only events after the last checkpoint: the client
+  learns the resume offset from the ``open`` reply and re-sends the tail
+  (``tests/test_service.py`` pins byte-identical reports across a crash).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.core.profiler2d import ProfilerConfig, TwoDProfiler
+from repro.core.stats import TestThresholds
+from repro.errors import ExperimentError, ProtocolError, ServiceError
+from repro.service import checkpoint as ckpt
+from repro.service import protocol
+from repro.service.metrics import ServiceMetrics
+
+log = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class ServiceLimits:
+    """Backpressure and housekeeping limits of one server instance."""
+
+    #: Maximum concurrently live sessions; opens beyond this are refused.
+    max_sessions: int = 256
+    #: Maximum events one frame may carry; larger batches are rejected.
+    max_batch_events: int = 1 << 20
+    #: Maximum frame payload bytes accepted from a client.
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    #: Seconds of inactivity before a session is checkpointed + evicted
+    #: (``None`` disables the reaper).
+    idle_timeout: Optional[float] = None
+
+
+class _Session:
+    """One live profiling session: a profiler plus bookkeeping."""
+
+    def __init__(self, name: str, session_id: int, profiler: TwoDProfiler,
+                 events_received: int = 0):
+        self.name = name
+        self.session_id = session_id
+        self.profiler = profiler
+        self.events_received = events_received
+        self.last_active = asyncio.get_running_loop().time()
+
+    def touch(self) -> None:
+        self.last_active = asyncio.get_running_loop().time()
+
+    def report_payload(self) -> dict:
+        """Serialize the report of a *copy* so the live state keeps going.
+
+        ``finish()`` folds a sufficiently full trailing slice, which
+        mutates; querying through a state-dict clone keeps the live
+        profiler byte-identical to one that was never queried.
+        """
+        clone = TwoDProfiler.from_state(self.profiler.state_dict())
+        return protocol.serialize_report(clone.finish())
+
+
+def _config_from_message(message: dict) -> ProfilerConfig:
+    """Build the session's ProfilerConfig from validated open-frame fields."""
+    slice_size = message.get("slice_size")
+    if not isinstance(slice_size, int) or slice_size <= 0:
+        raise ServiceError("open requires a positive integer slice_size")
+    exec_threshold = message.get("exec_threshold")
+    if exec_threshold is not None and (not isinstance(exec_threshold, int) or exec_threshold < 0):
+        raise ServiceError("exec_threshold must be a non-negative integer")
+    mean_th = message.get("mean_th")
+    return ProfilerConfig(
+        slice_size=slice_size,
+        exec_threshold=exec_threshold,
+        thresholds=TestThresholds(
+            mean_th=float(mean_th) if mean_th is not None else None,
+            std_th=float(message.get("std_th", TestThresholds.std_th)),
+            pam_th=float(message.get("pam_th", TestThresholds.pam_th)),
+        ),
+        use_fir=bool(message.get("use_fir", True)),
+        fir_cold_start=bool(message.get("fir_cold_start", False)),
+        keep_series=bool(message.get("keep_series", False)),
+    )
+
+
+class ProfilingServer:
+    """The streaming profiling service (one asyncio event loop)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        checkpoint_dir: str | Path | None = None,
+        limits: ServiceLimits | None = None,
+    ):
+        self.host = host
+        self.port = port
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.limits = limits or ServiceLimits()
+        self.metrics = ServiceMetrics()
+        self._sessions: dict[str, _Session] = {}
+        self._by_id: dict[int, _Session] = {}
+        self._next_id = 1
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._reaper: asyncio.Task | None = None
+        self._stopped: asyncio.Event | None = None
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start serving; ``self.port`` holds the actual port."""
+        self._stopped = asyncio.Event()
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+            ckpt.sweep_checkpoint_dir(self.checkpoint_dir)
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.limits.idle_timeout:
+            self._reaper = asyncio.create_task(self._reap_idle_sessions())
+        log.info("profiling service listening on %s:%d", self.host, self.port)
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`drain` or :meth:`abort` completes."""
+        assert self._stopped is not None, "server not started"
+        await self._stopped.wait()
+
+    async def drain(self) -> int:
+        """Graceful shutdown: checkpoint every session, then stop.
+
+        Returns the number of checkpoints written.  Wired to SIGTERM by
+        ``repro-2dprof serve``.
+        """
+        if self._draining:
+            return 0
+        self._draining = True
+        written = 0
+        if self.checkpoint_dir is not None:
+            for session in list(self._sessions.values()):
+                ckpt.save_checkpoint(
+                    self.checkpoint_dir, session.name, session.profiler,
+                    session.events_received,
+                )
+                self.metrics.checkpoints_written += 1
+                written += 1
+        log.info("drain: %d session checkpoint(s) written", written)
+        self._shut_down()
+        return written
+
+    def abort(self) -> None:
+        """Hard stop with **no** checkpoints (crash simulation in tests)."""
+        self._draining = True
+        self._shut_down()
+
+    def _shut_down(self) -> None:
+        if self._reaper is not None:
+            self._reaper.cancel()
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                writer.close()
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def _reap_idle_sessions(self) -> None:
+        timeout = self.limits.idle_timeout
+        assert timeout
+        interval = max(0.05, timeout / 4.0)
+        while True:
+            await asyncio.sleep(interval)
+            now = asyncio.get_running_loop().time()
+            for session in [s for s in self._sessions.values()
+                            if now - s.last_active > timeout]:
+                if self.checkpoint_dir is not None:
+                    ckpt.save_checkpoint(
+                        self.checkpoint_dir, session.name, session.profiler,
+                        session.events_received,
+                    )
+                    self.metrics.checkpoints_written += 1
+                self._drop_session(session)
+                self.metrics.sessions_evicted += 1
+                log.info("evicted idle session %r after %.0fs", session.name, timeout)
+
+    def _drop_session(self, session: _Session) -> None:
+        self._sessions.pop(session.name, None)
+        self._by_id.pop(session.session_id, None)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.metrics.connections_accepted += 1
+        self.metrics.connections_open += 1
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    frame = await protocol.read_frame_async(reader, self.limits.max_frame_bytes)
+                except protocol.ProtocolError as exc:
+                    # Unusable header or torn frame: the stream cannot be
+                    # re-synchronized, so reject and close this connection.
+                    self.metrics.frames_rejected += 1
+                    with contextlib.suppress(Exception):
+                        writer.write(protocol.encode_control({"ok": False, "error": str(exc)}))
+                        await writer.drain()
+                    break
+                if frame is None:
+                    break
+                self.metrics.frames_total += 1
+                frame_type, payload = frame
+                reply = self._dispatch(frame_type, payload)
+                writer.write(protocol.encode_control(reply))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            self.metrics.connections_open -= 1
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    def _dispatch(self, frame_type: int, payload: bytes) -> dict:
+        """Decode and apply one frame; always returns a reply payload."""
+        try:
+            if frame_type == protocol.FRAME_EVENTS:
+                return self._on_events(protocol.decode_events(payload))
+            return self._on_control(protocol.decode_control(payload))
+        except (ProtocolError, ServiceError, ExperimentError) as exc:
+            self.metrics.frames_rejected += 1
+            return {"ok": False, "error": str(exc)}
+
+    # ------------------------------------------------------------------
+    # Frame semantics
+    # ------------------------------------------------------------------
+
+    def _on_events(self, batch: protocol.EventBatch) -> dict:
+        session = self._by_id.get(batch.session_id)
+        if session is None:
+            raise ServiceError(f"unknown session id {batch.session_id}")
+        if len(batch) > self.limits.max_batch_events:
+            raise ServiceError(
+                f"batch of {len(batch)} events exceeds limit {self.limits.max_batch_events}"
+            )
+        session.profiler.record_batch(batch.sites, batch.correct)
+        session.events_received += len(batch)
+        session.touch()
+        self.metrics.events_total += len(batch)
+        return {"ok": True, "events": session.events_received}
+
+    def _on_control(self, message: dict) -> dict:
+        op = message.get("op")
+        handlers = {
+            "ping": self._op_ping,
+            "open": self._op_open,
+            "query": self._op_query,
+            "checkpoint": self._op_checkpoint,
+            "close": self._op_close,
+            "stats": self._op_stats,
+        }
+        handler = handlers.get(op)
+        if handler is None:
+            raise ServiceError(f"unknown control op {op!r}")
+        return handler(message)
+
+    def _op_ping(self, message: dict) -> dict:
+        return {"ok": True, "op": "ping"}
+
+    def _op_open(self, message: dict) -> dict:
+        name = ckpt.validate_session_name(message.get("session"))
+        num_sites = message.get("num_sites")
+        if not isinstance(num_sites, int) or num_sites <= 0:
+            raise ServiceError("open requires a positive integer num_sites")
+
+        session = self._sessions.get(name)
+        resumed = None
+        if session is not None:
+            # Reattach to live in-memory state (e.g. after a reconnect).
+            if session.profiler.num_sites != num_sites:
+                raise ServiceError(
+                    f"session {name!r} has num_sites={session.profiler.num_sites}, "
+                    f"not {num_sites}"
+                )
+            resumed = "memory"
+        else:
+            restored = None
+            if message.get("resume") and self.checkpoint_dir is not None:
+                restored = ckpt.load_checkpoint(self.checkpoint_dir, name)
+            if restored is not None:
+                profiler, events = restored
+                if profiler.num_sites != num_sites:
+                    raise ServiceError(
+                        f"checkpoint for {name!r} has num_sites={profiler.num_sites}, "
+                        f"not {num_sites}"
+                    )
+                resumed = "checkpoint"
+            else:
+                if len(self._sessions) >= self.limits.max_sessions:
+                    raise ServiceError(
+                        f"session limit {self.limits.max_sessions} reached"
+                    )
+                profiler = TwoDProfiler(num_sites, _config_from_message(message))
+                events = 0
+            session = _Session(name, self._next_id, profiler, events)
+            self._next_id += 1
+            self._sessions[name] = session
+            self._by_id[session.session_id] = session
+            if resumed:
+                self.metrics.sessions_resumed += 1
+            else:
+                self.metrics.sessions_opened += 1
+        session.touch()
+        return {
+            "ok": True,
+            "op": "open",
+            "session": name,
+            "session_id": session.session_id,
+            "events": session.events_received,
+            "resumed": resumed,
+        }
+
+    def _require_session(self, message: dict) -> _Session:
+        name = message.get("session")
+        session = self._sessions.get(name) if isinstance(name, str) else None
+        if session is None:
+            raise ServiceError(f"unknown session {name!r}")
+        return session
+
+    def _op_query(self, message: dict) -> dict:
+        session = self._require_session(message)
+        session.touch()
+        self.metrics.queries_served += 1
+        return {
+            "ok": True,
+            "op": "query",
+            "session": session.name,
+            "events": session.events_received,
+            "report": session.report_payload(),
+        }
+
+    def _op_checkpoint(self, message: dict) -> dict:
+        if self.checkpoint_dir is None:
+            raise ServiceError("server has no checkpoint directory configured")
+        session = self._require_session(message)
+        path = ckpt.save_checkpoint(
+            self.checkpoint_dir, session.name, session.profiler, session.events_received
+        )
+        self.metrics.checkpoints_written += 1
+        session.touch()
+        return {
+            "ok": True,
+            "op": "checkpoint",
+            "session": session.name,
+            "events": session.events_received,
+            "path": str(path),
+        }
+
+    def _op_close(self, message: dict) -> dict:
+        session = self._require_session(message)
+        report = session.report_payload()
+        self._drop_session(session)
+        if self.checkpoint_dir is not None:
+            ckpt.delete_checkpoint(self.checkpoint_dir, session.name)
+        self.metrics.sessions_closed += 1
+        return {
+            "ok": True,
+            "op": "close",
+            "session": session.name,
+            "events": session.events_received,
+            "report": report,
+        }
+
+    def _op_stats(self, message: dict) -> dict:
+        payload = self.metrics.snapshot(active_sessions=len(self._sessions))
+        payload["sessions"] = {
+            session.name: session.events_received
+            for session in self._sessions.values()
+        }
+        return {"ok": True, "op": "stats", "stats": payload}
+
+
+class ServerThread:
+    """Run a :class:`ProfilingServer` on a daemon thread's event loop.
+
+    Used by tests and :mod:`examples.live_profiling` to host a server and
+    a blocking client in one process.  ``drain()`` is the graceful path;
+    ``abort()`` simulates a crash (no checkpoints written).
+    """
+
+    def __init__(self, **server_kwargs):
+        self._kwargs = server_kwargs
+        self.server: ProfilingServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._error: BaseException | None = None
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._error is not None:
+            raise self._error
+        if self.server is None:
+            raise ServiceError("server thread failed to start")
+        return self
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self.server.port
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - surfaced via start()
+            self._error = exc
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        server = ProfilingServer(**self._kwargs)
+        await server.start()
+        self.server = server
+        self._started.set()
+        await server.wait_stopped()
+
+    def drain(self) -> None:
+        """Checkpoint every session and stop the server (graceful)."""
+        if self._loop is None or self.server is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.drain(), self._loop)
+        future.result(timeout=30)
+        self._thread.join(timeout=30)
+
+    def abort(self) -> None:
+        """Stop without checkpointing — in-memory sessions are lost."""
+        if self._loop is None or self.server is None:
+            return
+        self._loop.call_soon_threadsafe(self.server.abort)
+        self._thread.join(timeout=30)
+
+
+async def serve_until_signalled(server: ProfilingServer) -> None:
+    """Run ``server`` until SIGTERM/SIGINT, then drain gracefully."""
+    import signal
+
+    await server.start()
+    loop = asyncio.get_running_loop()
+
+    def _drain() -> None:
+        asyncio.ensure_future(server.drain())
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError):  # pragma: no cover
+            loop.add_signal_handler(signum, _drain)
+    print(f"listening on {server.host}:{server.port}", flush=True)
+    await server.wait_stopped()

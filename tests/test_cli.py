@@ -25,6 +25,28 @@ class TestParser:
         args = build_parser().parse_args(["--scale", "0.5", "list"])
         assert args.scale == 0.5
 
+    def test_series_accepts_jobs(self):
+        args = build_parser().parse_args(["series", "gzipish", "--jobs", "2"])
+        assert args.jobs == 2
+
+    def test_overhead_accepts_jobs_and_workloads(self):
+        args = build_parser().parse_args(
+            ["overhead", "gzipish", "mcfish", "--jobs", "3"]
+        )
+        assert args.jobs == 3
+        assert args.workloads == ["gzipish", "mcfish"]
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7421
+        assert args.host == "127.0.0.1"
+
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream", "gzipish"])
+        assert args.port == 7421
+        assert args.checkpoint_every == 0
+        assert not args.resume
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -60,6 +82,57 @@ class TestCommands:
         code, out = run_cli(capsys, "--scale", "0.02", "overhead", "mcfish")
         assert code == 0
         assert "2d+gshare" in out
+
+    def test_overhead_multiple_workloads(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "0.02", "overhead", "mcfish", "gzipish", "--jobs", "2"
+        )
+        assert code == 0
+        assert "mcfish" in out and "gzipish" in out
+
+    def test_series_with_jobs(self, capsys):
+        code, out = run_cli(
+            capsys, "--scale", "0.05", "series", "vortexish", "--jobs", "2"
+        )
+        assert code == 0
+        assert "mean=" in out
+
+
+class TestStreamCommand:
+    def test_stream_verify_and_pause_resume(self, capsys, tmp_path):
+        from repro.service.server import ServerThread
+
+        thread = ServerThread(checkpoint_dir=tmp_path / "ckpt").start()
+        port = str(thread.port)
+        try:
+            # Full stream, verified bit-identical against the offline path.
+            code, out = run_cli(
+                capsys, "--scale", "0.03", "stream", "mcfish",
+                "--port", port, "--verify",
+            )
+            assert code == 0
+            assert "predicted input-dependent" in out
+            assert "bit-identical" in out
+
+            # Interrupted stream pauses at a checkpoint...
+            code, out = run_cli(
+                capsys, "--scale", "0.03", "stream", "vortexish",
+                "--port", port, "--batch", "512",
+                "--stop-after-events", "1024", "--session", "paused-run",
+            )
+            assert code == 0
+            assert "paused" in out and "--resume" in out
+
+            # ...and --resume finishes it, still matching offline exactly.
+            code, out = run_cli(
+                capsys, "--scale", "0.03", "stream", "vortexish",
+                "--port", port, "--session", "paused-run",
+                "--resume", "--verify",
+            )
+            assert code == 0
+            assert "bit-identical" in out
+        finally:
+            thread.drain()
 
 
 class TestExtensionCommands:

@@ -1,7 +1,7 @@
 """Golden regression tests for figure rows.
 
-``tests/golden/*.json`` pins the Figure 3 and Figure 10 rows at the test
-scale (0.05).  Any change to the pipeline — tracing, simulation,
+``tests/golden/*.json`` pins the Figure 3, 4, 5, and 10 rows at the
+test scale (0.05).  Any change to the pipeline — tracing, simulation,
 profiling, ground truth — that shifts these numbers fails here, which is
 the point: refactors (vectorized replay, parallel warming) must not move
 results at all.
@@ -29,6 +29,8 @@ GOLDEN_DIR = Path(__file__).parent / "golden"
 #: JSON has no NaN; the paper's 0/0 cells round-trip as null.
 FIGURES = {
     "fig3": tables.fig3_rows,
+    "fig4": tables.fig4_rows,
+    "fig5": tables.fig5_rows,
     "fig10": tables.fig10_rows,
 }
 

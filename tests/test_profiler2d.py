@@ -209,3 +209,168 @@ class TestOnlineProfilerTool:
         report = tool.finish()
         offline = profile_trace(trace, predictor=make_predictor("bimodal"), config=config)
         assert report.input_dependent_sites() == offline.input_dependent_sites()
+
+
+def _exact_report_fingerprint(report):
+    """Every per-site scalar plus the report-level summary, bit-exact.
+
+    Floats are compared through ``.hex()`` so the assertion fails on any
+    bit difference rather than hiding one behind ``==`` tolerance quirks
+    (e.g. ``-0.0 == 0.0``).
+    """
+    rows = []
+    for s in report.stats:
+        rows.append((
+            s.N,
+            float(s.SPA).hex(),
+            float(s.SSPA).hex(),
+            s.NPAM,
+            float(s.LPA).hex(),
+            s.exec_counter,
+            s.predict_counter,
+        ))
+    return (
+        rows,
+        float(report.overall_accuracy).hex(),
+        report.profiled_sites(),
+        report.input_dependent_sites(),
+    )
+
+
+def _tool_report(trace, config):
+    """Replay ``trace`` through the online tool with a fresh predictor."""
+    tool = OnlineProfilerTool(make_predictor("bimodal"), trace.num_sites, config)
+    for site, taken in zip(trace.sites.tolist(), trace.outcomes.tolist()):
+        tool.on_branch(site, taken)
+    return tool.finish()
+
+
+class TestTruncatedTraceEquivalence:
+    """OnlineProfilerTool must match offline profile_trace bit-for-bit on
+    truncated prefixes — the property the streaming service relies on when
+    a producer dies mid-slice and the run is replayed from a checkpoint.
+    """
+
+    SLICE = 600
+
+    def _compare(self, mixed_trace, length):
+        trace, _sim, _s, _p = mixed_trace
+        short = trace.slice_view(0, length)
+        config = ProfilerConfig(slice_size=self.SLICE)
+        offline = profile_trace(
+            short, predictor=make_predictor("bimodal"), config=config
+        )
+        online = _tool_report(short, config)
+        assert _exact_report_fingerprint(online) == _exact_report_fingerprint(offline)
+
+    def test_mid_slice_truncations(self, mixed_trace):
+        # Cuts landing at awkward offsets inside a slice, including one
+        # event past a boundary and one event before the next boundary.
+        for length in (self.SLICE * 7 + 1, self.SLICE * 11 - 1,
+                       self.SLICE * 13 + 317):
+            self._compare(mixed_trace, length)
+
+    def test_empty_last_slice(self, mixed_trace):
+        # Length an exact multiple of slice_size: the final slice closes
+        # on the last event and finish() must not fold a phantom tail.
+        self._compare(mixed_trace, self.SLICE * 9)
+
+    def test_single_slice_run(self, mixed_trace):
+        self._compare(mixed_trace, self.SLICE)
+
+    def test_sub_slice_run_folds_big_tail(self, mixed_trace):
+        # Shorter than one slice but >= slice_size/2: folded as one slice.
+        self._compare(mixed_trace, self.SLICE // 2 + 10)
+
+    def test_sub_half_slice_run_drops_tail(self, mixed_trace):
+        # Shorter than slice_size/2: no slice at all, nothing profiled.
+        trace, _sim, _s, _p = mixed_trace
+        short = trace.slice_view(0, self.SLICE // 2 - 10)
+        config = ProfilerConfig(slice_size=self.SLICE)
+        report = _tool_report(short, config)
+        assert report.profiled_sites() == set()
+        self._compare(mixed_trace, self.SLICE // 2 - 10)
+
+
+class TestStateRoundtrip:
+    def test_mid_slice_snapshot_resumes_identically(self, mixed_trace):
+        trace, sim, _s, _p = mixed_trace
+        config = ProfilerConfig(slice_size=700)
+        sites = trace.sites.tolist()
+        correct = sim.correct.tolist()
+        cut = 700 * 5 + 123  # mid-slice
+
+        straight = TwoDProfiler(trace.num_sites, config)
+        for site, ok in zip(sites, correct):
+            straight.record(site, ok)
+
+        first = TwoDProfiler(trace.num_sites, config)
+        for site, ok in zip(sites[:cut], correct[:cut]):
+            first.record(site, ok)
+        resumed = TwoDProfiler.from_state(first.state_dict())
+        for site, ok in zip(sites[cut:], correct[cut:]):
+            resumed.record(site, ok)
+
+        assert (_exact_report_fingerprint(resumed.finish())
+                == _exact_report_fingerprint(straight.finish()))
+
+    def test_state_dict_snapshot_is_independent(self, mixed_trace):
+        trace, sim, _s, _p = mixed_trace
+        config = ProfilerConfig(slice_size=500)
+        profiler = TwoDProfiler(trace.num_sites, config)
+        profiler.record_batch(trace.sites[:2000], sim.correct[:2000])
+        state = profiler.state_dict()
+        profiler.record_batch(trace.sites[2000:4000], sim.correct[2000:4000])
+        # Mutating the original after the snapshot must not leak through.
+        assert int(state["total_branches"]) == 2000
+        clone = TwoDProfiler.from_state(state)
+        assert clone.total_branches == 2000
+        assert profiler.total_branches == 4000
+
+    def test_from_state_rejects_bad_version(self, mixed_trace):
+        trace, _sim, _s, _p = mixed_trace
+        profiler = TwoDProfiler(trace.num_sites, ProfilerConfig(slice_size=500))
+        state = profiler.state_dict()
+        state["state_version"] = np.int64(99)
+        with pytest.raises(ExperimentError, match="version"):
+            TwoDProfiler.from_state(state)
+
+    def test_from_state_rejects_missing_array(self, mixed_trace):
+        trace, _sim, _s, _p = mixed_trace
+        profiler = TwoDProfiler(trace.num_sites, ProfilerConfig(slice_size=500))
+        state = profiler.state_dict()
+        del state["SPA"]
+        with pytest.raises(ExperimentError):
+            TwoDProfiler.from_state(state)
+
+
+class TestRecordBatchEquivalence:
+    def test_odd_chunking_matches_scalar_record(self, mixed_trace):
+        trace, sim, _s, _p = mixed_trace
+        config = ProfilerConfig(slice_size=640)
+        scalar = TwoDProfiler(trace.num_sites, config)
+        for site, ok in zip(trace.sites.tolist(), sim.correct.tolist()):
+            scalar.record(site, ok)
+
+        batched = TwoDProfiler(trace.num_sites, config)
+        pos = 0
+        step = 1
+        while pos < len(trace):
+            stop = min(pos + step, len(trace))
+            batched.record_batch(trace.sites[pos:stop], sim.correct[pos:stop])
+            pos = stop
+            step = step * 3 + 1  # 1, 4, 13, ... crosses boundaries unevenly
+
+        assert (_exact_report_fingerprint(batched.finish())
+                == _exact_report_fingerprint(scalar.finish()))
+
+    def test_batch_site_range_checked(self):
+        profiler = TwoDProfiler(4, ProfilerConfig(slice_size=100))
+        with pytest.raises(ExperimentError, match="beyond"):
+            profiler.record_batch(np.array([0, 7]), np.array([1, 0]))
+
+    def test_empty_batch_is_noop(self):
+        profiler = TwoDProfiler(4, ProfilerConfig(slice_size=100))
+        profiler.record_batch(np.array([], dtype=np.int64),
+                              np.array([], dtype=np.int64))
+        assert profiler.finish().profiled_sites() == set()

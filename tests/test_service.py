@@ -1,0 +1,435 @@
+"""Tests for the streaming profiling service.
+
+Three layers:
+
+* **protocol** — frame round-trips and strict rejection of malformed,
+  truncated, or oversized frames;
+* **checkpoint** — snapshot/restore exactness and corruption-as-miss;
+* **end-to-end** — a real asyncio server on a background thread, driven
+  by the blocking client.  The acceptance pins: streamed reports are
+  *bit-identical* to offline ``profile_trace`` (float-for-float, via the
+  JSON shortest-repr round-trip), and a crash (no graceful shutdown) plus
+  resume-from-checkpoint reproduces the identical report.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.profiler2d import ProfilerConfig, TwoDProfiler, profile_trace
+from repro.errors import ProtocolError, ServiceError
+from repro.predictors import make_predictor, simulate
+from repro.service import checkpoint as ckpt
+from repro.service import protocol
+from repro.service.client import StreamingClient, stream_simulation
+from repro.service.protocol import serialize_report
+from repro.service.server import ProfilingServer, ServerThread, ServiceLimits
+from repro.trace.synthetic import phased_trace
+
+
+@pytest.fixture(scope="module")
+def stream_data():
+    """A phased synthetic run: (trace, simulation, resolved config, offline)."""
+    trace, _stationary, _phased = phased_trace(6, 3, 12_000, seed=7)
+    sim = simulate(make_predictor("bimodal"), trace)
+    config = ProfilerConfig().resolve(total_branches=len(trace))
+    offline = serialize_report(profile_trace(trace, simulation=sim, config=config))
+    return trace, sim, config, offline
+
+
+# ----------------------------------------------------------------------
+# Protocol framing
+# ----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_control_roundtrip(self):
+        frame = protocol.encode_control({"op": "ping", "x": [1, 2.5, None]})
+        frame_type, length = protocol.split_header(frame[:protocol.HEADER_BYTES])
+        assert frame_type == protocol.FRAME_JSON
+        assert protocol.decode_control(frame[protocol.HEADER_BYTES:]) == {
+            "op": "ping", "x": [1, 2.5, None]
+        }
+        assert length == len(frame) - protocol.HEADER_BYTES
+
+    def test_events_roundtrip(self):
+        sites = np.array([0, 3, 7, 2**20], dtype=np.int64)
+        correct = np.array([1, 0, 1, 1], dtype=np.int64)
+        frame = protocol.encode_events(42, sites, correct)
+        batch = protocol.decode_events(frame[protocol.HEADER_BYTES:])
+        assert batch.session_id == 42 and len(batch) == 4
+        np.testing.assert_array_equal(batch.sites, sites)
+        np.testing.assert_array_equal(batch.correct, correct)
+
+    def test_empty_batch_roundtrip(self):
+        frame = protocol.encode_events(1, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        batch = protocol.decode_events(frame[protocol.HEADER_BYTES:])
+        assert len(batch) == 0
+
+    def test_unknown_frame_type_rejected(self):
+        header = struct.pack("!BI", 0x99, 4)
+        with pytest.raises(ProtocolError, match="unknown frame type"):
+            protocol.split_header(header)
+
+    def test_oversized_length_rejected(self):
+        header = struct.pack("!BI", protocol.FRAME_JSON, protocol.MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds limit"):
+            protocol.split_header(header)
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            protocol.split_header(b"\x4a\x00")
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError, match="malformed control"):
+            protocol.decode_control(b"{nope")
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            protocol.decode_control(b"[1, 2]")
+
+    def test_event_count_mismatch_rejected(self):
+        good = protocol.encode_events(1, np.array([5]), np.array([1]))
+        payload = good[protocol.HEADER_BYTES:]
+        with pytest.raises(ProtocolError, match="does not match count"):
+            protocol.decode_events(payload + b"\x00\x00\x00\x00")
+        with pytest.raises(ProtocolError, match="does not match count"):
+            protocol.decode_events(payload[:-1])
+
+    def test_truncated_event_head_rejected(self):
+        with pytest.raises(ProtocolError, match="truncated event frame"):
+            protocol.decode_events(b"\x00\x01")
+
+    def test_encode_validates_site_range(self):
+        with pytest.raises(ProtocolError, match="site id out of range"):
+            protocol.encode_events(1, np.array([2**31]), np.array([0]))
+        with pytest.raises(ProtocolError, match="site id out of range"):
+            protocol.encode_events(1, np.array([-1]), np.array([0]))
+
+    def test_encode_validates_correct_flags(self):
+        with pytest.raises(ProtocolError, match="0 or 1"):
+            protocol.encode_events(1, np.array([3]), np.array([2]))
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+
+
+class TestCheckpoint:
+    def _profiler_with_data(self, seed: int = 0) -> TwoDProfiler:
+        rng = np.random.default_rng(seed)
+        profiler = TwoDProfiler(8, ProfilerConfig(slice_size=100, exec_threshold=2))
+        profiler.record_batch(rng.integers(0, 8, size=730), rng.integers(0, 2, size=730))
+        return profiler
+
+    def test_roundtrip_resumes_byte_identical(self, tmp_path):
+        profiler = self._profiler_with_data()
+        ckpt.save_checkpoint(tmp_path, "sess", profiler, 730)
+        restored, events = ckpt.load_checkpoint(tmp_path, "sess")
+        assert events == 730
+        assert serialize_report(restored.finish()) == serialize_report(profiler.finish())
+
+    def test_missing_is_none(self, tmp_path):
+        assert ckpt.load_checkpoint(tmp_path, "nothing") is None
+
+    def test_corrupt_checkpoint_is_a_miss(self, tmp_path):
+        profiler = self._profiler_with_data()
+        path = ckpt.save_checkpoint(tmp_path, "sess", profiler, 10)
+        path.write_bytes(b"garbage, not a zip")
+        assert ckpt.load_checkpoint(tmp_path, "sess") is None
+
+    def test_truncated_checkpoint_is_a_miss(self, tmp_path):
+        profiler = self._profiler_with_data()
+        path = ckpt.save_checkpoint(tmp_path, "sess", profiler, 10)
+        path.write_bytes(path.read_bytes()[:40])
+        assert ckpt.load_checkpoint(tmp_path, "sess") is None
+
+    def test_delete_and_list(self, tmp_path):
+        profiler = self._profiler_with_data()
+        ckpt.save_checkpoint(tmp_path, "a", profiler, 1)
+        ckpt.save_checkpoint(tmp_path, "b", profiler, 1)
+        assert ckpt.list_checkpoints(tmp_path) == ["a", "b"]
+        assert ckpt.delete_checkpoint(tmp_path, "a")
+        assert not ckpt.delete_checkpoint(tmp_path, "a")
+        assert ckpt.list_checkpoints(tmp_path) == ["b"]
+
+    @pytest.mark.parametrize("bad", ["", "../x", "a/b", "a b", ".hidden", "x" * 200])
+    def test_session_names_validated(self, bad):
+        with pytest.raises(ServiceError, match="invalid session name"):
+            ckpt.validate_session_name(bad)
+
+
+# ----------------------------------------------------------------------
+# End to end
+# ----------------------------------------------------------------------
+
+
+def _start_server(tmp_path, **kwargs) -> ServerThread:
+    kwargs.setdefault("checkpoint_dir", tmp_path / "ckpt")
+    return ServerThread(**kwargs).start()
+
+
+class TestEndToEnd:
+    def test_streamed_report_bit_identical_to_offline(self, tmp_path, stream_data):
+        trace, sim, config, offline = stream_data
+        server = _start_server(tmp_path)
+        try:
+            with StreamingClient("127.0.0.1", server.port) as client:
+                outcome = stream_simulation(
+                    client, "run", trace.sites, sim.correct, config,
+                    batch_size=997, num_sites=trace.num_sites,
+                )
+                assert outcome.completed and outcome.events_total == len(trace)
+                live = client.query("run")["report"]
+                final = client.close_session("run")["report"]
+            assert live == offline
+            assert final == offline
+        finally:
+            server.drain()
+
+    def test_query_does_not_disturb_the_stream(self, tmp_path, stream_data):
+        trace, sim, config, offline = stream_data
+        server = _start_server(tmp_path)
+        try:
+            with StreamingClient("127.0.0.1", server.port) as client:
+                client.open_session("run", trace.num_sites, config)
+                half = len(trace) // 2 + 17
+                client.send_events("run", trace.sites[:half], sim.correct[:half])
+                client.query("run")  # mid-stream query must not fold state
+                client.send_events("run", trace.sites[half:], sim.correct[half:])
+                assert client.query("run")["report"] == offline
+        finally:
+            server.drain()
+
+    def test_crash_and_resume_identical_report(self, tmp_path, stream_data):
+        """SIGKILL-equivalent: abort() skips drain, then resume from disk."""
+        trace, sim, config, offline = stream_data
+        server = _start_server(tmp_path)
+        with StreamingClient("127.0.0.1", server.port) as client:
+            outcome = stream_simulation(
+                client, "run", trace.sites, sim.correct, config,
+                batch_size=500, stop_after=4000, num_sites=trace.num_sites,
+            )
+            assert not outcome.completed
+            # More events arrive after the checkpoint; the crash loses them.
+            client.send_events("run", trace.sites[4000:4800], sim.correct[4000:4800])
+        server.abort()
+
+        server = _start_server(tmp_path)
+        try:
+            with StreamingClient("127.0.0.1", server.port) as client:
+                outcome = stream_simulation(
+                    client, "run", trace.sites, sim.correct, config,
+                    batch_size=800, resume=True, num_sites=trace.num_sites,
+                )
+                assert outcome.resumed_from == 4000  # checkpoint, not the lost tail
+                assert client.query("run")["report"] == offline
+        finally:
+            server.drain()
+
+    def test_graceful_drain_checkpoints_everything(self, tmp_path, stream_data):
+        trace, sim, config, offline = stream_data
+        server = _start_server(tmp_path)
+        with StreamingClient("127.0.0.1", server.port) as client:
+            client.open_session("run", trace.num_sites, config)
+            client.send_events("run", trace.sites[:5000], sim.correct[:5000])
+        server.drain()  # SIGTERM path: checkpoint without an explicit request
+
+        server = _start_server(tmp_path)
+        try:
+            with StreamingClient("127.0.0.1", server.port) as client:
+                reply = client.open_session("run", trace.num_sites, config, resume=True)
+                assert reply["resumed"] == "checkpoint" and reply["events"] == 5000
+                client.send_events("run", trace.sites[5000:], sim.correct[5000:])
+                assert client.query("run")["report"] == offline
+        finally:
+            server.drain()
+
+    def test_concurrent_sessions_are_independent(self, tmp_path, stream_data):
+        trace, sim, config, offline = stream_data
+        other_sim = simulate(make_predictor("gshare"), trace)
+        other_offline = serialize_report(
+            profile_trace(trace, simulation=other_sim, config=config)
+        )
+        server = _start_server(tmp_path)
+        try:
+            with StreamingClient("127.0.0.1", server.port) as a, \
+                 StreamingClient("127.0.0.1", server.port) as b:
+                a.open_session("alpha", trace.num_sites, config)
+                b.open_session("beta", trace.num_sites, config)
+                # Interleave batches from two sessions over two connections.
+                for start in range(0, len(trace), 2000):
+                    stop = min(start + 2000, len(trace))
+                    a.send_events("alpha", trace.sites[start:stop], sim.correct[start:stop])
+                    b.send_events("beta", trace.sites[start:stop], other_sim.correct[start:stop])
+                assert a.query("alpha")["report"] == offline
+                assert b.query("beta")["report"] == other_offline
+        finally:
+            server.drain()
+
+    def test_unknown_session_id_rejected_not_fatal(self, tmp_path, stream_data):
+        trace, _sim, config, _offline = stream_data
+        server = _start_server(tmp_path)
+        try:
+            with StreamingClient("127.0.0.1", server.port) as client:
+                client.open_session("run", trace.num_sites, config)
+                reply = client._request(
+                    protocol.encode_events(999, np.array([0]), np.array([1]))
+                )
+                assert reply["ok"] is False and "unknown session id" in reply["error"]
+                assert client.ping()["ok"]  # connection survives
+        finally:
+            server.drain()
+
+    def test_payload_garbage_gets_error_reply(self, tmp_path, stream_data):
+        trace, sim, config, offline = stream_data
+        server = _start_server(tmp_path)
+        try:
+            with StreamingClient("127.0.0.1", server.port) as client:
+                # Hand-craft a frame whose event count disagrees with its length.
+                body = struct.pack("!II", 1, 5) + b"\x00" * 4
+                frame = struct.pack("!BI", protocol.FRAME_EVENTS, len(body)) + body
+                reply = client._request(frame)
+                assert reply["ok"] is False and "count" in reply["error"]
+                # The same connection keeps working afterwards.
+                assert client.ping()["ok"]
+                # And real traffic still flows end to end.
+                outcome = stream_simulation(
+                    client, "run", trace.sites, sim.correct, config,
+                    batch_size=3000, num_sites=trace.num_sites,
+                )
+                assert outcome.completed
+                assert client.query("run")["report"] == offline
+                assert client.stats()["frames_rejected"] >= 1
+        finally:
+            server.drain()
+
+    def test_corrupt_header_closes_only_that_connection(self, tmp_path, stream_data):
+        trace, sim, config, offline = stream_data
+        server = _start_server(tmp_path)
+        try:
+            bad = socket.create_connection(("127.0.0.1", server.port), timeout=10)
+            bad.sendall(struct.pack("!BI", 0x7F, 12) + b"x" * 12)
+            # Server replies with an error frame and closes this connection...
+            time.sleep(0.2)
+            bad.close()
+            # ...but keeps serving others.
+            with StreamingClient("127.0.0.1", server.port) as client:
+                assert client.ping()["ok"]
+        finally:
+            server.drain()
+
+    def test_batch_limit_enforced(self, tmp_path, stream_data):
+        trace, sim, config, _offline = stream_data
+        server = _start_server(tmp_path, limits=ServiceLimits(max_batch_events=100))
+        try:
+            with StreamingClient("127.0.0.1", server.port) as client:
+                client.open_session("run", trace.num_sites, config)
+                with pytest.raises(ServiceError, match="exceeds limit"):
+                    client.send_events("run", trace.sites[:101], sim.correct[:101])
+                # A conforming batch still goes through.
+                assert client.send_events("run", trace.sites[:100], sim.correct[:100]) == 100
+        finally:
+            server.drain()
+
+    def test_session_limit_enforced(self, tmp_path, stream_data):
+        trace, _sim, config, _offline = stream_data
+        server = _start_server(tmp_path, limits=ServiceLimits(max_sessions=1))
+        try:
+            with StreamingClient("127.0.0.1", server.port) as client:
+                client.open_session("one", trace.num_sites, config)
+                with pytest.raises(ServiceError, match="session limit"):
+                    client.open_session("two", trace.num_sites, config)
+        finally:
+            server.drain()
+
+    def test_idle_sessions_checkpointed_and_evicted(self, tmp_path, stream_data):
+        trace, sim, config, offline = stream_data
+        server = _start_server(tmp_path, limits=ServiceLimits(idle_timeout=0.3))
+        try:
+            with StreamingClient("127.0.0.1", server.port) as client:
+                client.open_session("run", trace.num_sites, config)
+                client.send_events("run", trace.sites[:6000], sim.correct[:6000])
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    if client.stats()["sessions_evicted"] >= 1:
+                        break
+                    time.sleep(0.1)
+                stats = client.stats()
+                assert stats["sessions_evicted"] >= 1
+                assert stats["checkpoints_written"] >= 1
+                # Eviction checkpointed the state: resume and finish the run.
+                reply = client.open_session("run", trace.num_sites, config, resume=True)
+                assert reply["resumed"] == "checkpoint" and reply["events"] == 6000
+                client.send_events("run", trace.sites[6000:], sim.correct[6000:])
+                assert client.query("run")["report"] == offline
+        finally:
+            server.drain()
+
+    def test_stats_frame_counts(self, tmp_path, stream_data):
+        trace, sim, config, _offline = stream_data
+        server = _start_server(tmp_path)
+        try:
+            with StreamingClient("127.0.0.1", server.port) as client:
+                stream_simulation(
+                    client, "run", trace.sites, sim.correct, config,
+                    batch_size=1000, checkpoint_every=2, num_sites=trace.num_sites,
+                )
+                client.query("run")
+                stats = client.stats()
+            assert stats["events_total"] == len(trace)
+            assert stats["sessions_opened"] == 1
+            assert stats["active_sessions"] == 1
+            assert stats["queries_served"] == 1
+            assert stats["checkpoints_written"] >= len(trace) // 2000
+            assert stats["events_per_second"] > 0
+            assert stats["sessions"] == {"run": len(trace)}
+        finally:
+            server.drain()
+
+    def test_reattach_in_memory_after_reconnect(self, tmp_path, stream_data):
+        trace, sim, config, offline = stream_data
+        server = _start_server(tmp_path)
+        try:
+            with StreamingClient("127.0.0.1", server.port) as client:
+                client.open_session("run", trace.num_sites, config)
+                client.send_events("run", trace.sites[:3000], sim.correct[:3000])
+            # New connection, same server process: live state reattaches.
+            with StreamingClient("127.0.0.1", server.port) as client:
+                reply = client.open_session("run", trace.num_sites, config)
+                assert reply["resumed"] == "memory" and reply["events"] == 3000
+                client.send_events("run", trace.sites[3000:], sim.correct[3000:])
+                assert client.query("run")["report"] == offline
+        finally:
+            server.drain()
+
+    def test_open_num_sites_mismatch_rejected(self, tmp_path, stream_data):
+        trace, _sim, config, _offline = stream_data
+        server = _start_server(tmp_path)
+        try:
+            with StreamingClient("127.0.0.1", server.port) as client:
+                client.open_session("run", trace.num_sites, config)
+                with pytest.raises(ServiceError, match="num_sites"):
+                    client.open_session("run", trace.num_sites + 5, config)
+        finally:
+            server.drain()
+
+    def test_event_site_out_of_range_rejected(self, tmp_path, stream_data):
+        trace, _sim, config, _offline = stream_data
+        server = _start_server(tmp_path)
+        try:
+            with StreamingClient("127.0.0.1", server.port) as client:
+                client.open_session("run", trace.num_sites, config)
+                with pytest.raises(ServiceError, match="beyond num_sites"):
+                    client.send_events(
+                        "run", np.array([trace.num_sites + 3]), np.array([1])
+                    )
+                assert client.stats()["frames_rejected"] == 1
+        finally:
+            server.drain()
