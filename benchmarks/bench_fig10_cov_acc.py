@@ -12,7 +12,6 @@ import math
 from conftest import once
 
 from repro.analysis.tables import fig10_rows, render_rows
-from repro.core.metrics import average_metrics
 from repro.core.experiment import ExperimentRunner
 
 

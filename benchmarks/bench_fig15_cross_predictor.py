@@ -12,7 +12,6 @@ import math
 from conftest import once
 
 from repro.analysis.tables import fig13_rows, render_rows
-from repro.core.metrics import average_metrics
 
 
 def bench_fig15_cross_predictor(benchmark, runner, archive):

@@ -14,7 +14,7 @@ from repro.analysis.overhead import MODES, run_mode
 from repro.vm.machine import Machine
 from repro.workloads import get_workload
 
-from conftest import scale_from_env, RESULTS_DIR
+from conftest import scale_from_env
 
 # Branch-intensive workloads, like the paper's Figure 16 selection.
 WORKLOADS = ("gzipish", "gapish", "vortexish")
@@ -28,7 +28,7 @@ def bench_fig16_mode(benchmark, workload, mode):
     wl = get_workload(workload)
     machine = Machine(wl.program())
     input_set = wl.make_input("train", min(0.2, scale_from_env()))
-    result = benchmark.pedantic(
+    benchmark.pedantic(
         lambda: run_mode(machine, input_set, mode), rounds=2, iterations=1
     )
     _timings[(workload, mode)] = benchmark.stats.stats.min

@@ -10,6 +10,12 @@ the session-scoped runner and cached on disk, so the *timed* portion of
 most benches is the experiment analysis itself; the Figure 16 bench times
 raw instrumented execution by design.
 
+Besides the human-readable ``_results/*.txt`` archives, every session
+writes ``_results/BENCH_summary.json`` — machine-readable per-bench wall
+time plus disk-cache hit/miss/corrupt deltas (pulled from the unified
+metrics registry, :mod:`repro.obs.metrics`) — so the perf trajectory has
+comparable data points across commits.
+
 Environment knobs:
 
 * ``REPRO_BENCH_SCALE`` — workload input scale (default 0.4).
@@ -20,14 +26,60 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.core.experiment import ExperimentRunner, SuiteConfig
+from repro.obs.metrics import get_registry
 
 RESULTS_DIR = Path(__file__).parent / "_results"
+
+_BENCH_RECORDS: list[dict] = []
+
+
+def _cache_counts() -> dict[str, int]:
+    registry = get_registry()
+    return {
+        outcome: registry.counter(f"cache_{outcome}_total").total()
+        for outcome in ("hits", "misses", "corrupt")
+    }
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Record wall time + cache-counter deltas around each bench body."""
+    before = _cache_counts()
+    start = time.perf_counter()
+    yield
+    elapsed = time.perf_counter() - start
+    after = _cache_counts()
+    _BENCH_RECORDS.append({
+        "bench": item.name,
+        "file": item.location[0],
+        "wall_seconds": round(elapsed, 6),
+        "cache": {k: after[k] - before[k] for k in after},
+    })
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _BENCH_RECORDS:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    summary = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "scale": scale_from_env(),
+        "jobs": jobs_from_env(),
+        "exit_status": int(exitstatus),
+        "total_wall_seconds": round(
+            sum(r["wall_seconds"] for r in _BENCH_RECORDS), 6),
+        "benches": _BENCH_RECORDS,
+    }
+    (RESULTS_DIR / "BENCH_summary.json").write_text(
+        json.dumps(summary, indent=2) + "\n")
 
 
 def scale_from_env() -> float:

@@ -13,7 +13,6 @@ Run:  python examples/live_profiling.py
 import tempfile
 
 from repro import (
-    InputSet,
     ProfilerConfig,
     compile_source,
     capture_trace,

@@ -11,7 +11,6 @@ from repro import (
     capture_trace,
     paper_gshare,
     profile_trace,
-    simulate,
 )
 
 # A program with one data-dependent branch (like the paper's gap example:

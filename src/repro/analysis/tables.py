@@ -11,9 +11,9 @@ from __future__ import annotations
 import math
 
 from repro.core.experiment import ExperimentRunner
-from repro.core.metrics import average_metrics, evaluate_detection
+from repro.core.metrics import average_metrics
 from repro.core.predication import PredicationCosts, cost_sweep
-from repro.workloads import all_workloads, deep_workloads, get_workload
+from repro.workloads import all_workloads, deep_workloads
 
 #: Accuracy bins of Figures 4 and 5 (paper: 0-70, 70-80, 80-90, 90-95,
 #: 95-99, 99-100, measured on the reference input set).

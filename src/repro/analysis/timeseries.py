@@ -89,7 +89,6 @@ def figure8_series(
     report = runner.profile_2d(workload, predictor, config=config)
     varying, flat = pick_exemplars(report)
     overall = report.slice_overall.tolist() if report.slice_overall is not None else []
-    program = runner.trace(workload, "train")
     return (
         site_series(report, varying, label=f"{workload} varying"),
         site_series(report, flat, label=f"{workload} flat"),

@@ -29,10 +29,13 @@ import contextlib
 import logging
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Iterator
 
 import numpy as np
+
+from repro.obs import get_registry, get_tracer
 
 try:  # pragma: no cover - fcntl is present on every POSIX platform.
     import fcntl
@@ -48,6 +51,12 @@ TMP_SUFFIX = ".tmp"
 LOCK_SUFFIX = ".lock"
 
 
+def _observe_publish(seconds: float) -> None:
+    get_registry().histogram(
+        "cachefs_publish_seconds", "atomic artifact publication wall time"
+    ).observe(seconds)
+
+
 def atomic_savez(path: str | Path, **arrays) -> None:
     """Write a compressed ``.npz`` so that ``path`` is all-or-nothing.
 
@@ -61,11 +70,15 @@ def atomic_savez(path: str | Path, **arrays) -> None:
         dir=path.parent, prefix=path.name + ".", suffix=TMP_SUFFIX
     )
     try:
-        with os.fdopen(fd, "wb") as handle:
-            np.savez_compressed(handle, **arrays)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
+        with get_tracer().span("cachefs.publish", cat="cachefs", artifact=path.name) as sp:
+            start = time.perf_counter()
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+            _observe_publish(time.perf_counter() - start)
+            sp.set("bytes", path.stat().st_size)
     except BaseException:
         with contextlib.suppress(OSError):
             os.unlink(tmp_name)
@@ -84,11 +97,15 @@ def atomic_write_bytes(path: str | Path, data: bytes) -> None:
         dir=path.parent, prefix=path.name + ".", suffix=TMP_SUFFIX
     )
     try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(data)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
+        with get_tracer().span("cachefs.publish", cat="cachefs",
+                               artifact=path.name, bytes=len(data)):
+            start = time.perf_counter()
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+            _observe_publish(time.perf_counter() - start)
     except BaseException:
         with contextlib.suppress(OSError):
             os.unlink(tmp_name)
@@ -116,7 +133,13 @@ def artifact_lock(path: str | Path) -> Iterator[None]:
     lock_file.parent.mkdir(parents=True, exist_ok=True)
     fd = os.open(lock_file, os.O_RDWR | os.O_CREAT, 0o644)
     try:
-        fcntl.flock(fd, fcntl.LOCK_EX)
+        with get_tracer().span("cachefs.lock_wait", cat="cachefs",
+                               artifact=Path(path).name):
+            start = time.perf_counter()
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            get_registry().histogram(
+                "cachefs_lock_wait_seconds", "artifact flock acquisition wait"
+            ).observe(time.perf_counter() - start)
         try:
             yield
         finally:

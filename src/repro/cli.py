@@ -10,14 +10,21 @@ Subcommands map to the paper's experiments::
     repro-2dprof overhead gzipish           # Figure 16 instrumentation costs
     repro-2dprof serve                      # streaming profiling service
     repro-2dprof stream gzipish --verify    # replay a run into the service
+    repro-2dprof stats                      # metrics snapshot of a live server
+
+Observability: most subcommands accept ``--trace FILE`` (write a Chrome/
+Perfetto trace of the run) and ``--metrics-json FILE`` (dump the metrics
+registry); see docs/observability.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.experiment import ExperimentRunner, SuiteConfig
+from repro.obs import get_registry, get_tracer
 from repro.analysis import tables
 from repro.analysis.overhead import measure_overheads
 from repro.analysis.timeseries import figure8_series, render_ascii_series
@@ -58,6 +65,30 @@ _FIG_BUILDERS = {
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
     jobs = getattr(args, "jobs", 1)
     return ExperimentRunner(SuiteConfig(scale=args.scale, jobs=jobs))
+
+
+#: Registries beyond the process-wide one to fold into --metrics-json
+#: (the serve command adds its server's per-instance registry here).
+_EXTRA_REGISTRIES: list = []
+
+
+def _finalize_obs(args: argparse.Namespace) -> None:
+    """Export the trace / metrics snapshot a subcommand asked for."""
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        path = get_tracer().export(trace_path)
+        print(f"wrote trace to {path} (open in https://ui.perfetto.dev)", file=sys.stderr)
+    metrics_path = getattr(args, "metrics_json", None)
+    if metrics_path:
+        snapshot = get_registry().snapshot()
+        for registry in _EXTRA_REGISTRIES:
+            snapshot.update(registry.snapshot())
+        from pathlib import Path
+
+        path = Path(metrics_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+        print(f"wrote metrics snapshot to {path}", file=sys.stderr)
 
 
 def _prefetch(runner: ExperimentRunner, sims, traces=()) -> None:
@@ -220,7 +251,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             idle_timeout=args.idle_timeout,
         ),
     )
+    _EXTRA_REGISTRIES.append(server.metrics.registry)
     asyncio.run(serve_until_signalled(server))
+    return 0
+
+
+def _format_stat(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.service.client import StreamingClient
+
+    with StreamingClient(args.host, args.port) as client:
+        stats = client.stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    sessions = stats.pop("sessions", {})
+    latency = stats.pop("frame_latency", None)
+    width = max(len(k) for k in stats)
+    for key in sorted(stats):
+        print(f"{key:<{width}}  {_format_stat(stats[key])}")
+    if latency is not None:
+        parts = ", ".join(
+            f"{k}={_format_stat(v) if v is not None else '-'}"
+            for k, v in latency.items()
+        )
+        print(f"{'frame_latency':<{width}}  {parts}")
+    if sessions:
+        print("sessions:")
+        for name in sorted(sessions):
+            print(f"  {name}: {sessions[name]} events")
     return 0
 
 
@@ -296,10 +360,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=int, default=1,
                        help="worker processes for cache warming (0 = all cores; default 1)")
 
+    def add_obs(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="record spans and write a Chrome/Perfetto trace to FILE")
+        p.add_argument("--metrics-json", default=None, metavar="FILE",
+                       help="write the metrics-registry snapshot to FILE")
+
     p = sub.add_parser("profile", help="run 2D-profiling on one workload's train input")
     p.add_argument("workload")
     p.add_argument("--predictor", default="gshare")
     add_jobs(p)
+    add_obs(p)
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("evaluate", help="COV/ACC of 2D-profiling vs train-vs-ref ground truth")
@@ -308,26 +379,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--target-predictor", default=None,
                    help="ground-truth predictor (default: same as --predictor)")
     add_jobs(p)
+    add_obs(p)
     p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser("fig", help="print a paper figure/table (2,3,4,5,10..15,t1,t2,t4)")
     p.add_argument("figure")
     add_jobs(p)
+    add_obs(p)
     p.set_defaults(func=_cmd_fig)
 
     p = sub.add_parser("warm", help="pre-build every artifact the figure suite needs")
     add_jobs(p)
+    add_obs(p)
     p.set_defaults(func=_cmd_warm)
 
     p = sub.add_parser("series", help="Figure 8 per-slice accuracy series (ASCII)")
     p.add_argument("workload", nargs="?", default="gapish")
     p.add_argument("--predictor", default="gshare")
     add_jobs(p)
+    add_obs(p)
     p.set_defaults(func=_cmd_series)
 
     p = sub.add_parser("overhead", help="Figure 16 instrumentation overhead")
     p.add_argument("workloads", nargs="*", default=["gzipish"])
     add_jobs(p)
+    add_obs(p)
     p.set_defaults(func=_cmd_overhead)
 
     p = sub.add_parser("serve", help="run the streaming profiling service")
@@ -341,7 +417,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds before an idle session is checkpointed and evicted")
     p.add_argument("--max-sessions", type=int, default=256)
     p.add_argument("--max-batch-events", type=int, default=1 << 20)
+    add_obs(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("stats", help="query and pretty-print a live server's metrics")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421)
+    p.add_argument("--json", action="store_true",
+                   help="print the raw stats-frame JSON instead of a table")
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("stream", help="replay a workload run into the service, live")
     p.add_argument("workload")
@@ -363,6 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="compare the streamed report bit-for-bit against offline "
                         "profile_trace; non-zero exit on mismatch")
     add_jobs(p)
+    add_obs(p)
     p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser("whatif", help="predication policy comparison (profile train, run ref)")
@@ -384,11 +469,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "trace", None):
+        get_tracer().configure(enabled=True)
     try:
         return args.func(args)
     except BrokenPipeError:
         # Output was piped into a pager/head that closed early; not an error.
         return 0
+    finally:
+        _finalize_obs(args)
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.errors import ExperimentError, TraceError
 from repro.cachefs import artifact_lock, atomic_savez
+from repro.obs import get_registry, get_tracer
 from repro.core.groundtruth import (
     DEFAULT_MIN_EXECUTIONS,
     DEFAULT_THRESHOLD,
@@ -110,6 +111,8 @@ class ExperimentRunner:
         load: Callable[[Path], _A],
         compute: Callable[[], _A],
         save: Callable[[Path, _A], None],
+        kind: str = "artifact",
+        **span_attrs,
     ) -> _A:
         """Disk-cache protocol shared by traces and simulations.
 
@@ -119,28 +122,49 @@ class ExperimentRunner:
         asked for the same artifact do the work once; the cache is
         re-checked after acquiring the lock because the previous holder
         usually just published the entry we want.
+
+        The whole protocol runs under one ``experiment.<kind>`` span, and
+        every outcome bumps the matching ``cache_*_total{kind=...}``
+        counter (corrupt entries are counted where they are detected, in
+        :meth:`_try_load`).
         """
-        if not self.config.use_disk_cache:
-            return compute()
-        artifact = self._try_load(path, load)
-        if artifact is not None:
-            return artifact
-        with artifact_lock(path):
-            artifact = self._try_load(path, load)
+        with get_tracer().span(f"experiment.{kind}", cat="experiment", **span_attrs) as sp:
+            if not self.config.use_disk_cache:
+                sp.set("cache", "off")
+                return compute()
+            artifact = self._try_load(path, load, kind)
             if artifact is not None:
+                self._count_cache("hits", kind)
+                sp.set("cache", "hit")
                 return artifact
-            artifact = compute()
-            save(path, artifact)
-        return artifact
+            with artifact_lock(path):
+                artifact = self._try_load(path, load, kind)
+                if artifact is not None:
+                    # The previous lock holder published it while we waited.
+                    self._count_cache("hits", kind)
+                    sp.set("cache", "hit-after-wait")
+                    return artifact
+                self._count_cache("misses", kind)
+                sp.set("cache", "miss")
+                artifact = compute()
+                save(path, artifact)
+            return artifact
 
     @staticmethod
-    def _try_load(path: Path, load: Callable[[Path], _A]) -> _A | None:
+    def _count_cache(outcome: str, kind: str) -> None:
+        get_registry().counter(
+            f"cache_{outcome}_total", f"disk-cache {outcome} by artifact kind"
+        ).labels(kind=kind).inc()
+
+    @classmethod
+    def _try_load(cls, path: Path, load: Callable[[Path], _A], kind: str = "artifact") -> _A | None:
         if not path.exists():
             return None
         try:
             return load(path)
         except (TraceError, ExperimentError) as exc:
             log.warning("corrupt cache entry %s (%s); recomputing", path, exc)
+            cls._count_cache("corrupt", kind)
             return None
 
     def trace(self, workload: str, input_name: str) -> BranchTrace:
@@ -158,6 +182,9 @@ class ExperimentRunner:
             BranchTrace.load,
             compute,
             lambda path, trace: trace.save(path),
+            kind="trace",
+            workload=workload,
+            input=input_name,
         )
         self._traces[key] = trace
         return trace
@@ -177,6 +204,10 @@ class ExperimentRunner:
             self._load_sim,
             compute,
             self._save_sim,
+            kind="sim",
+            workload=workload,
+            input=input_name,
+            predictor=predictor,
         )
         self._sims[key] = sim
         return sim

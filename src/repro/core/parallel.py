@@ -21,11 +21,15 @@ from __future__ import annotations
 
 import logging
 import os
+import tempfile
+import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 
 from repro.cachefs import sweep_tmp_files
 from repro.errors import ExperimentError
+from repro.obs import get_registry, get_tracer
+from repro.obs.spool import merge_spool, remove_spool, worker_capture
 
 log = logging.getLogger(__name__)
 
@@ -62,17 +66,38 @@ class WarmStats:
 # ----------------------------------------------------------------------
 
 
-def _warm_trace(config, workload: str, input_name: str) -> TraceSpec:
+def _queue_wait(submit_ts: float | None) -> float:
+    """Seconds this task sat in the pool's queue (wall clock, same host)."""
+    if submit_ts is None:
+        return 0.0
+    wait_s = max(0.0, time.time() - submit_ts)
+    get_registry().histogram(
+        "parallel_queue_wait_seconds", "submit-to-start latency of warm tasks"
+    ).observe(wait_s)
+    return wait_s
+
+
+def _warm_trace(config, workload: str, input_name: str,
+                spool_dir=None, submit_ts: float | None = None) -> TraceSpec:
     from repro.core.experiment import ExperimentRunner
 
-    ExperimentRunner(config).trace(workload, input_name)
+    with worker_capture(spool_dir):
+        with get_tracer().span("warm.trace", cat="parallel", workload=workload,
+                               input=input_name) as sp:
+            sp.set("queue_wait_s", round(_queue_wait(submit_ts), 6))
+            ExperimentRunner(config).trace(workload, input_name)
     return (workload, input_name)
 
 
-def _warm_sim(config, workload: str, input_name: str, predictor: str) -> SimSpec:
+def _warm_sim(config, workload: str, input_name: str, predictor: str,
+              spool_dir=None, submit_ts: float | None = None) -> SimSpec:
     from repro.core.experiment import ExperimentRunner
 
-    ExperimentRunner(config).simulation(workload, input_name, predictor)
+    with worker_capture(spool_dir):
+        with get_tracer().span("warm.sim", cat="parallel", workload=workload,
+                               input=input_name, predictor=predictor) as sp:
+            sp.set("queue_wait_s", round(_queue_wait(submit_ts), 6))
+            ExperimentRunner(config).simulation(workload, input_name, predictor)
     return (workload, input_name, predictor)
 
 
@@ -101,14 +126,18 @@ class ParallelRunner:
                 [tuple(t) for t in traces] + [(w, i) for (w, i, _p) in sim_specs]
             )
         )
-        if self.jobs > 1 and self.runner.config.use_disk_cache:
-            self._warm_parallel(trace_specs, sim_specs)
-        else:
-            if self.jobs > 1:
-                log.warning(
-                    "disk cache disabled; parallel warm-up would be lost — running serially"
-                )
-            self._warm_serial(trace_specs, sim_specs)
+        parallel = self.jobs > 1 and self.runner.config.use_disk_cache
+        with get_tracer().span("warm", cat="parallel", jobs=self.jobs,
+                               traces=len(trace_specs), sims=len(sim_specs),
+                               mode="parallel" if parallel else "serial"):
+            if parallel:
+                self._warm_parallel(trace_specs, sim_specs)
+            else:
+                if self.jobs > 1:
+                    log.warning(
+                        "disk cache disabled; parallel warm-up would be lost — running serially"
+                    )
+                self._warm_serial(trace_specs, sim_specs)
         return WarmStats(jobs=self.jobs, traces=len(trace_specs), sims=len(sim_specs))
 
     # ------------------------------------------------------------------
@@ -123,6 +152,11 @@ class ParallelRunner:
         config = self.runner.config
         sweep_tmp_files(config.cache_dir / "traces")
         sweep_tmp_files(config.cache_dir / "sims")
+        config.cache_dir.mkdir(parents=True, exist_ok=True)
+        spool_dir = tempfile.mkdtemp(prefix="obs-spool-", dir=config.cache_dir)
+        pending_gauge = get_registry().gauge(
+            "parallel_pending_tasks", "warm tasks submitted but not finished"
+        )
 
         # Group each trace's dependent simulations so they can be
         # released as soon as that trace is published.
@@ -131,28 +165,41 @@ class ParallelRunner:
             sims_by_trace[(spec[0], spec[1])].append(spec)
 
         errors: list[str] = []
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            pending: dict[Future, TraceSpec | SimSpec] = {}
-            for trace_key in traces:
-                if self.runner._trace_path(*trace_key).exists():
-                    # Cached trace: its sims have no dependency to wait on.
-                    for spec in sims_by_trace.pop(trace_key):
-                        pending[pool.submit(_warm_sim, config, *spec)] = spec
-                else:
-                    future = pool.submit(_warm_trace, config, *trace_key)
-                    pending[future] = trace_key
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    spec = pending.pop(future)
-                    exc = future.exception()
-                    if exc is not None:
-                        errors.append(f"{spec}: {exc}")
-                        sims_by_trace.pop(spec[:2], None)  # type: ignore[index]
-                        continue
-                    if len(spec) == 2:  # a trace landed; release its sims
-                        for sim_spec in sims_by_trace.pop(spec, ()):
-                            pending[pool.submit(_warm_sim, config, *sim_spec)] = sim_spec
+        try:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                pending: dict[Future, TraceSpec | SimSpec] = {}
+
+                def submit(fn, spec) -> None:
+                    pending[pool.submit(fn, config, *spec,
+                                        spool_dir=spool_dir,
+                                        submit_ts=time.time())] = spec
+                    pending_gauge.set(len(pending))
+
+                for trace_key in traces:
+                    if self.runner._trace_path(*trace_key).exists():
+                        # Cached trace: its sims have no dependency to wait on.
+                        for spec in sims_by_trace.pop(trace_key):
+                            submit(_warm_sim, spec)
+                    else:
+                        submit(_warm_trace, trace_key)
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        spec = pending.pop(future)
+                        exc = future.exception()
+                        if exc is not None:
+                            errors.append(f"{spec}: {exc}")
+                            sims_by_trace.pop(spec[:2], None)  # type: ignore[index]
+                            continue
+                        if len(spec) == 2:  # a trace landed; release its sims
+                            for sim_spec in sims_by_trace.pop(spec, ()):
+                                submit(_warm_sim, sim_spec)
+                    pending_gauge.set(len(pending))
+        finally:
+            merged = merge_spool(spool_dir)
+            remove_spool(spool_dir)
+            pending_gauge.set(0)
+            log.debug("merged %d worker spool file(s)", merged)
         if errors:
             raise ExperimentError(
                 f"parallel warm-up failed for {len(errors)} artifact(s): "

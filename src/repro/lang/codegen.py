@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro.errors import CodegenError
 from repro.lang import ast
-from repro.lang.semantics import BUILTINS, SemanticInfo, const_eval
+from repro.lang.semantics import SemanticInfo, const_eval
 from repro.bytecode.builder import FunctionBuilder, Label
 from repro.bytecode.opcodes import BUILTIN_IDS, Opcode
 from repro.bytecode.program import Function

@@ -29,8 +29,11 @@ the same on either path.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro.obs import get_registry, get_tracer
 from repro.predictors.bimodal import Bimodal
 from repro.predictors.gshare import Gshare
 from repro.trace.trace import BranchTrace
@@ -178,6 +181,25 @@ def try_simulate_vectorized(predictor, trace: BranchTrace, reset: bool = True):
     kind = type(predictor)
     if kind not in (Bimodal, Gshare):
         return None
+    start = time.perf_counter()
+    with get_tracer().span("replay.vectorized", cat="replay",
+                           predictor=predictor.name, events=len(trace)) as sp:
+        result = _simulate_vectorized(predictor, trace, reset, kind, SimulationResult)
+        elapsed = time.perf_counter() - start
+        events_per_sec = len(trace) / elapsed if elapsed > 0 else 0.0
+        sp.set("events_per_sec", round(events_per_sec, 1))
+    registry = get_registry()
+    registry.counter("replay_events_total",
+                     "dynamic branches replayed (vectorized path)").inc(len(trace))
+    registry.histogram("replay_seconds",
+                       "wall time of one vectorized replay").observe(elapsed)
+    registry.gauge("replay_events_per_second",
+                   "throughput of the most recent vectorized replay").set(
+                       round(events_per_sec, 1))
+    return result
+
+
+def _simulate_vectorized(predictor, trace: BranchTrace, reset: bool, kind, SimulationResult):
     if reset:
         predictor.reset()
     index_dtype = np.int32 if predictor.table_bits < 31 else np.int64

@@ -1,53 +1,92 @@
-"""Observability counters for the streaming service.
+"""Service metrics, backed by the unified observability registry.
 
-One :class:`ServiceMetrics` instance lives on the server; every mutation
-happens on the event loop thread, so plain ints are race-free.  The
-``stats`` control frame returns :meth:`snapshot`, which is the service's
-``/metrics`` endpoint in JSON form.
+:class:`ServiceMetrics` used to be a bag of plain-int counters; it is now
+a thin facade over a :class:`repro.obs.metrics.Registry` — the registry
+is the source of truth (and what ``--metrics-json`` dumps / Prometheus
+exposition renders), while :meth:`snapshot` keeps emitting the exact key
+names the ``stats`` control frame has always carried, so existing
+``stream --verify`` clients and dashboards keep working unchanged.
+
+Each server instance gets its **own** registry by default so concurrent
+servers in one process (tests, embedding) don't bleed counts into each
+other; pass a registry explicitly to aggregate into a shared one.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+
+from repro.obs.metrics import Registry
+
+#: Monotonic counters exposed 1:1 in the stats frame, in snapshot order.
+_COUNTERS = (
+    ("connections_accepted", "TCP connections accepted"),
+    ("sessions_opened", "sessions opened fresh"),
+    ("sessions_resumed", "sessions resumed from checkpoint or memory"),
+    ("sessions_closed", "sessions closed by clients"),
+    ("sessions_evicted", "idle sessions checkpointed and evicted"),
+    ("events_total", "branch events folded into profilers"),
+    ("frames_total", "frames accepted"),
+    ("frames_rejected", "frames rejected (malformed or over limits)"),
+    ("checkpoints_written", "session checkpoints written"),
+    ("queries_served", "query ops answered"),
+    ("bytes_in", "request bytes received (headers + payloads)"),
+    ("bytes_out", "reply bytes sent"),
+)
+
+#: Frame latencies are sub-millisecond on the happy path; start the
+#: buckets at 10 us so the histogram still resolves them.
+_LATENCY_BUCKETS = (
+    0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025,
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
 
 
-@dataclass
 class ServiceMetrics:
-    """Monotonic counters plus a derived events/sec rate."""
+    """Registry-backed counters plus derived rates for the stats frame."""
 
-    connections_accepted: int = 0
-    connections_open: int = 0
-    sessions_opened: int = 0
-    sessions_resumed: int = 0
-    sessions_closed: int = 0
-    sessions_evicted: int = 0
-    events_total: int = 0
-    frames_total: int = 0
-    frames_rejected: int = 0
-    checkpoints_written: int = 0
-    queries_served: int = 0
-    started_at: float = field(default_factory=time.monotonic)
+    def __init__(self, registry: Registry | None = None):
+        self.registry = registry if registry is not None else Registry()
+        for name, help_text in _COUNTERS:
+            suffix = "" if name.endswith("_total") else "_total"
+            setattr(self, name, self.registry.counter(f"service_{name}{suffix}", help_text))
+        self.connections_open = self.registry.gauge(
+            "service_connections_open", "currently open TCP connections")
+        self.frame_latency = self.registry.histogram(
+            "service_frame_latency_seconds",
+            "wall time from frame decode to reply encode",
+            buckets=_LATENCY_BUCKETS,
+        )
+        self.started_at = time.monotonic()
 
     def uptime(self) -> float:
         return time.monotonic() - self.started_at
 
     def snapshot(self, active_sessions: int = 0) -> dict:
-        """The stats-frame payload: every counter plus derived rates."""
+        """The stats-frame payload.
+
+        Backward compatibility contract: every key the pre-registry
+        implementation emitted keeps its name and meaning
+        (``uptime_seconds``, ``active_sessions``, the ``_COUNTERS`` names,
+        ``connections_open``, ``events_per_second``); new telemetry only
+        *adds* keys (``bytes_in``, ``bytes_out``, ``frame_latency``).
+        """
         uptime = self.uptime()
-        return {
+        events_total = self.events_total.value
+        payload = {
             "uptime_seconds": uptime,
             "active_sessions": active_sessions,
-            "connections_accepted": self.connections_accepted,
-            "connections_open": self.connections_open,
-            "sessions_opened": self.sessions_opened,
-            "sessions_resumed": self.sessions_resumed,
-            "sessions_closed": self.sessions_closed,
-            "sessions_evicted": self.sessions_evicted,
-            "events_total": self.events_total,
-            "events_per_second": self.events_total / uptime if uptime > 0 else 0.0,
-            "frames_total": self.frames_total,
-            "frames_rejected": self.frames_rejected,
-            "checkpoints_written": self.checkpoints_written,
-            "queries_served": self.queries_served,
+            "connections_open": self.connections_open.value,
+            "events_per_second": events_total / uptime if uptime > 0 else 0.0,
         }
+        for name, _help in _COUNTERS:
+            payload[name] = getattr(self, name).value
+        latency = self.frame_latency
+        payload["frame_latency"] = {
+            "count": latency.count,
+            "sum_seconds": latency.sum,
+            "p50": latency.percentile(0.50) if latency.count else None,
+            "p90": latency.percentile(0.90) if latency.count else None,
+            "p99": latency.percentile(0.99) if latency.count else None,
+        }
+        return payload

@@ -32,6 +32,7 @@ import asyncio
 import contextlib
 import logging
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
@@ -39,6 +40,7 @@ from typing import Optional
 from repro.core.profiler2d import ProfilerConfig, TwoDProfiler
 from repro.core.stats import TestThresholds
 from repro.errors import ExperimentError, ProtocolError, ServiceError
+from repro.obs import get_tracer
 from repro.service import checkpoint as ckpt
 from repro.service import protocol
 from repro.service.metrics import ServiceMetrics
@@ -71,6 +73,7 @@ class _Session:
         self.profiler = profiler
         self.events_received = events_received
         self.last_active = asyncio.get_running_loop().time()
+        self.opened_at_us = time.time_ns() / 1e3
 
     def touch(self) -> None:
         self.last_active = asyncio.get_running_loop().time()
@@ -170,7 +173,7 @@ class ProfilingServer:
                     self.checkpoint_dir, session.name, session.profiler,
                     session.events_received,
                 )
-                self.metrics.checkpoints_written += 1
+                self.metrics.checkpoints_written.inc()
                 written += 1
         log.info("drain: %d session checkpoint(s) written", written)
         self._shut_down()
@@ -206,22 +209,31 @@ class ProfilingServer:
                         self.checkpoint_dir, session.name, session.profiler,
                         session.events_received,
                     )
-                    self.metrics.checkpoints_written += 1
+                    self.metrics.checkpoints_written.inc()
                 self._drop_session(session)
-                self.metrics.sessions_evicted += 1
+                self.metrics.sessions_evicted.inc()
                 log.info("evicted idle session %r after %.0fs", session.name, timeout)
 
     def _drop_session(self, session: _Session) -> None:
         self._sessions.pop(session.name, None)
         self._by_id.pop(session.session_id, None)
+        tracer = get_tracer()
+        if tracer.enabled:
+            # One span per session lifetime (open/resume to close/evict).
+            tracer.add_span(
+                "service.session", ts_us=session.opened_at_us,
+                dur_us=time.time_ns() / 1e3 - session.opened_at_us,
+                cat="service", session=session.name,
+                events=session.events_received,
+            )
 
     # ------------------------------------------------------------------
     # Connection handling
     # ------------------------------------------------------------------
 
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
-        self.metrics.connections_accepted += 1
-        self.metrics.connections_open += 1
+        self.metrics.connections_accepted.inc()
+        self.metrics.connections_open.inc()
         self._writers.add(writer)
         try:
             while True:
@@ -230,23 +242,33 @@ class ProfilingServer:
                 except protocol.ProtocolError as exc:
                     # Unusable header or torn frame: the stream cannot be
                     # re-synchronized, so reject and close this connection.
-                    self.metrics.frames_rejected += 1
+                    self.metrics.frames_rejected.inc()
                     with contextlib.suppress(Exception):
-                        writer.write(protocol.encode_control({"ok": False, "error": str(exc)}))
+                        encoded = protocol.encode_control({"ok": False, "error": str(exc)})
+                        self.metrics.bytes_out.inc(len(encoded))
+                        writer.write(encoded)
                         await writer.drain()
                     break
                 if frame is None:
                     break
-                self.metrics.frames_total += 1
+                self.metrics.frames_total.inc()
                 frame_type, payload = frame
-                reply = self._dispatch(frame_type, payload)
-                writer.write(protocol.encode_control(reply))
+                self.metrics.bytes_in.inc(protocol.HEADER_BYTES + len(payload))
+                started = time.perf_counter()
+                with get_tracer().span("service.frame", cat="service",
+                                       frame=chr(frame_type)) as sp:
+                    reply = self._dispatch(frame_type, payload)
+                    sp.set("ok", bool(reply.get("ok")))
+                encoded = protocol.encode_control(reply)
+                self.metrics.frame_latency.observe(time.perf_counter() - started)
+                self.metrics.bytes_out.inc(len(encoded))
+                writer.write(encoded)
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
             self._writers.discard(writer)
-            self.metrics.connections_open -= 1
+            self.metrics.connections_open.dec()
             with contextlib.suppress(Exception):
                 writer.close()
 
@@ -257,7 +279,7 @@ class ProfilingServer:
                 return self._on_events(protocol.decode_events(payload))
             return self._on_control(protocol.decode_control(payload))
         except (ProtocolError, ServiceError, ExperimentError) as exc:
-            self.metrics.frames_rejected += 1
+            self.metrics.frames_rejected.inc()
             return {"ok": False, "error": str(exc)}
 
     # ------------------------------------------------------------------
@@ -275,7 +297,7 @@ class ProfilingServer:
         session.profiler.record_batch(batch.sites, batch.correct)
         session.events_received += len(batch)
         session.touch()
-        self.metrics.events_total += len(batch)
+        self.metrics.events_total.inc(len(batch))
         return {"ok": True, "events": session.events_received}
 
     def _on_control(self, message: dict) -> dict:
@@ -336,9 +358,9 @@ class ProfilingServer:
             self._sessions[name] = session
             self._by_id[session.session_id] = session
             if resumed:
-                self.metrics.sessions_resumed += 1
+                self.metrics.sessions_resumed.inc()
             else:
-                self.metrics.sessions_opened += 1
+                self.metrics.sessions_opened.inc()
         session.touch()
         return {
             "ok": True,
@@ -359,7 +381,7 @@ class ProfilingServer:
     def _op_query(self, message: dict) -> dict:
         session = self._require_session(message)
         session.touch()
-        self.metrics.queries_served += 1
+        self.metrics.queries_served.inc()
         return {
             "ok": True,
             "op": "query",
@@ -375,7 +397,7 @@ class ProfilingServer:
         path = ckpt.save_checkpoint(
             self.checkpoint_dir, session.name, session.profiler, session.events_received
         )
-        self.metrics.checkpoints_written += 1
+        self.metrics.checkpoints_written.inc()
         session.touch()
         return {
             "ok": True,
@@ -391,7 +413,7 @@ class ProfilingServer:
         self._drop_session(session)
         if self.checkpoint_dir is not None:
             ckpt.delete_checkpoint(self.checkpoint_dir, session.name)
-        self.metrics.sessions_closed += 1
+        self.metrics.sessions_closed.inc()
         return {
             "ok": True,
             "op": "close",

@@ -19,11 +19,13 @@ Semantics notes
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import FuelExhausted, VMRuntimeError
 from repro.bytecode.opcodes import Opcode
 from repro.bytecode.program import Program
+from repro.obs import get_registry, get_tracer
 from repro.vm.inputs import InputSet
 
 # Plain-int opcode constants: dispatching on ints instead of IntEnum
@@ -123,6 +125,31 @@ class Machine:
         hook:
             Required for ``mode="callback"``.
         """
+        start = time.perf_counter()
+        result = self._run(input_set, mode, hook)
+        elapsed = time.perf_counter() - start
+        registry = get_registry()
+        registry.counter("vm_instructions_total",
+                         "guest instructions retired").inc(result.instructions)
+        registry.counter("vm_branches_total",
+                         "conditional branches executed").inc(result.branches)
+        registry.histogram("vm_run_seconds", "wall time of one VM run",
+                           ).observe(elapsed)
+        events_per_sec = result.branches / elapsed if elapsed > 0 else 0.0
+        registry.gauge("vm_events_per_second",
+                       "branch events/sec of the most recent VM run").set(
+                           round(events_per_sec, 1))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.add_span(
+                "vm.run", ts_us=(time.time_ns() / 1e3) - elapsed * 1e6,
+                dur_us=elapsed * 1e6, cat="vm", mode=mode,
+                instructions=result.instructions, branches=result.branches,
+                events_per_sec=round(events_per_sec, 1),
+            )
+        return result
+
+    def _run(self, input_set: InputSet, mode: str = "none", hook=None) -> RunResult:
         if mode not in ("none", "trace", "callback"):
             raise ValueError(f"unknown run mode {mode!r}")
         if mode == "callback" and hook is None:

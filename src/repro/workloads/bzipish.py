@@ -16,7 +16,6 @@ from repro.workloads.inputs import (
     graphic_like,
     program_like,
     random_bytes,
-    repetitive,
     scaled,
     text_like,
     video_like,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.vm.inputs import InputSet
 from repro.workloads.base import Workload
-from repro.workloads.inputs import board_layout, rng
+from repro.workloads.inputs import board_layout
 
 SOURCE = r"""
 // Negamax with alpha-beta on a 6x6 capture game.

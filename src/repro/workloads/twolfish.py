@@ -11,7 +11,6 @@ misprediction rate across inputs.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.vm.inputs import InputSet
 from repro.workloads.base import Workload

@@ -1,11 +1,9 @@
 """Tests for CFG construction, dominators, loops, and region shapes."""
 
-import pytest
 
 from repro.bytecode.cfg import (
     analyze_program,
     build_cfg,
-    classify_branch_region,
     convertible_branches,
 )
 from repro.lang import compile_source

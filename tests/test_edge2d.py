@@ -1,6 +1,5 @@
 """Tests for the 2D edge-profiling (bias) variant."""
 
-import numpy as np
 import pytest
 
 from repro.core.edge2d import Edge2DProfiler

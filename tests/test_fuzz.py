@@ -103,16 +103,16 @@ class ProgramGenerator:
             then_body = self.block(scope, depth + 1, 2)
             if self.rng.random() < 0.5:
                 else_body = self.block(scope, depth + 1, 2)
-                return ([f"if ({cond}) {{"] + [f"    {l}" for l in then_body]
-                        + ["} else {"] + [f"    {l}" for l in else_body] + ["}"])
-            return [f"if ({cond}) {{"] + [f"    {l}" for l in then_body] + ["}"]
+                return ([f"if ({cond}) {{"] + [f"    {line}" for line in then_body]
+                        + ["} else {"] + [f"    {line}" for line in else_body] + ["}"])
+            return [f"if ({cond}) {{"] + [f"    {line}" for line in then_body] + ["}"]
         if roll < 0.85 and depth < 2:
             # Bounded counting loop (no unbounded whiles: fuel safety).
             counter = self.name("i")
             bound = self.rng.randint(1, 12)
             body = self.block(scope + [counter], depth + 1, 2)
             return ([f"for (var {counter} = 0; {counter} < {bound}; {counter} += 1) {{"]
-                    + [f"    {l}" for l in body] + ["}"])
+                    + [f"    {line}" for line in body] + ["}"])
         if roll < 0.9 and self.global_arrays:
             array, size = self.rng.choice(self.global_arrays)
             index = self.expr(scope)
@@ -141,7 +141,7 @@ class ProgramGenerator:
             body = self.block([param], depth=1, budget=2)
             helpers.append(fname)
             lines.append(f"func {fname}({param}) {{")
-            lines.extend(f"    {l}" for l in body)
+            lines.extend(f"    {line}" for line in body)
             lines.append(f"    return {self.expr([param])};")
             lines.append("}")
 

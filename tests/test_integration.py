@@ -55,8 +55,7 @@ class TestDetectionQuality:
 class TestGapFigure6Story:
     def test_type_check_branch_truly_input_dependent(self, runner):
         """The sum_handles type-dispatch branch flips accuracy train->ref."""
-        program = runner.trace("gapish", "train")  # ensure trace exists
-        workload_program = __import__("repro.workloads", fromlist=["get_workload"])
+        runner.trace("gapish", "train")  # ensure trace exists
         from repro.workloads import get_workload
 
         prog = get_workload("gapish").program()
@@ -109,7 +108,7 @@ class TestMoreInputSets:
 class TestProfilerConfigEffects:
     def test_slice_count_insensitivity(self, runner):
         """Detection should be broadly stable across reasonable slice sizes."""
-        trace = runner.trace("vortexish", "train")
+        runner.trace("vortexish", "train")
         results = []
         for target in (40, 80):
             report = runner.profile_2d(

@@ -1,6 +1,5 @@
 """Unit tests for AST constant folding and bytecode jump threading."""
 
-import pytest
 
 from repro.bytecode.opcodes import Opcode
 from repro.lang import ast, compile_source

@@ -13,7 +13,6 @@ from repro.core.profiler2d import (
     TwoDProfiler,
     profile_trace,
 )
-from repro.core.stats import TestThresholds
 from repro.predictors import make_predictor, simulate
 from repro.trace.synthetic import phased_trace
 

@@ -17,7 +17,6 @@ from repro.core.profiler2d import ProfilerConfig, TwoDProfiler, profile_trace
 from repro.core.stats import BranchSliceStats
 from repro.lang import compile_source
 from repro.predictors import make_predictor, simulate
-from repro.predictors.simulate import SimulationResult
 from repro.trace.trace import BranchTrace
 from repro.vm import InputSet, Machine
 

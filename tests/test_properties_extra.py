@@ -1,11 +1,10 @@
 """Additional property-based tests: edge profiling, phase classifier, and
 the cost simulator's arithmetic identities."""
 
-import math
 
 import numpy as np
 import pytest
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.analysis.phases import PhaseShape, classify_series
 from repro.core.edge2d import Edge2DProfiler

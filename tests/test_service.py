@@ -28,7 +28,7 @@ from repro.service import checkpoint as ckpt
 from repro.service import protocol
 from repro.service.client import StreamingClient, stream_simulation
 from repro.service.protocol import serialize_report
-from repro.service.server import ProfilingServer, ServerThread, ServiceLimits
+from repro.service.server import ServerThread, ServiceLimits
 from repro.trace.synthetic import phased_trace
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.predication import AdvisorDecision, PredicationCosts
-from repro.core.timing import CostReport, WishBranchState, evaluate_policy
+from repro.core.timing import WishBranchState, evaluate_policy
 from repro.predictors.simulate import SimulationResult
 from repro.trace.trace import BranchTrace
 

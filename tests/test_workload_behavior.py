@@ -5,8 +5,6 @@ that makes it a stand-in for its SPEC counterpart — is checked directly
 through program outputs and trace statistics.
 """
 
-import numpy as np
-import pytest
 
 from repro.trace import capture_trace
 from repro.trace.ops import bias_divergence, site_stream
@@ -35,8 +33,6 @@ class TestBzipish:
         machine = Machine(wl.program())
         random_run = machine.run(wl.make_input("ext-4", TINY))   # random bytes
         text_run = machine.run(wl.make_input("ext-3", TINY))     # text
-        random_deep = random_run.output[2] / max(1, random_run.instructions)
-        text_deep = text_run.output[2] / max(1, text_run.instructions)
         assert random_run.output[2] > text_run.output[2]
 
 
