@@ -14,7 +14,10 @@ Besides the human-readable ``_results/*.txt`` archives, every session
 writes ``_results/BENCH_summary.json`` — machine-readable per-bench wall
 time plus disk-cache hit/miss/corrupt deltas (pulled from the unified
 metrics registry, :mod:`repro.obs.metrics`) — so the perf trajectory has
-comparable data points across commits.
+comparable data points across commits.  The summary is also copied to a
+repo-root ``BENCH_<pr>.json`` (PR number from ``REPRO_BENCH_PR``, else
+the highest ``PR N:`` entry in ``CHANGES.md``), building a per-PR
+trajectory of checked-in perf snapshots.
 
 Environment knobs:
 
@@ -28,6 +31,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import time
 from pathlib import Path
 
@@ -37,6 +41,8 @@ from repro.core.experiment import ExperimentRunner, SuiteConfig
 from repro.obs.metrics import get_registry
 
 RESULTS_DIR = Path(__file__).parent / "_results"
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 _BENCH_RECORDS: list[dict] = []
 
@@ -78,8 +84,23 @@ def pytest_sessionfinish(session, exitstatus):
             sum(r["wall_seconds"] for r in _BENCH_RECORDS), 6),
         "benches": _BENCH_RECORDS,
     }
-    (RESULTS_DIR / "BENCH_summary.json").write_text(
-        json.dumps(summary, indent=2) + "\n")
+    text = json.dumps(summary, indent=2) + "\n"
+    (RESULTS_DIR / "BENCH_summary.json").write_text(text)
+    # Publish the trajectory data point: one snapshot per PR at repo root.
+    (REPO_ROOT / f"BENCH_{pr_number()}.json").write_text(text)
+
+
+def pr_number() -> int:
+    """Current PR number: REPRO_BENCH_PR, else the latest entry in CHANGES.md."""
+    env = os.environ.get("REPRO_BENCH_PR")
+    if env:
+        return int(env)
+    try:
+        changes = (REPO_ROOT / "CHANGES.md").read_text()
+    except OSError:
+        return 0
+    entries = [int(m) for m in re.findall(r"^PR (\d+):", changes, re.MULTILINE)]
+    return max(entries, default=0)
 
 
 def scale_from_env() -> float:

@@ -45,7 +45,7 @@ from repro.core import (
 from repro.core.experiment import ExperimentRunner, SuiteConfig
 from repro.workloads import all_workloads, deep_workloads, get_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "compile_source",

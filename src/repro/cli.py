@@ -11,6 +11,9 @@ Subcommands map to the paper's experiments::
     repro-2dprof serve                      # streaming profiling service
     repro-2dprof stream gzipish --verify    # replay a run into the service
     repro-2dprof stats                      # metrics snapshot of a live server
+    repro-2dprof db ingest gzipish          # profile + store in the warehouse
+    repro-2dprof db diff r000001 r000002    # ground truth from stored runs
+    repro-2dprof db reclassify r000001 --std-th 0.06   # threshold what-if
 
 Observability: most subcommands accept ``--trace FILE`` (write a Chrome/
 Perfetto trace of the run) and ``--metrics-json FILE`` (dump the metrics
@@ -23,12 +26,27 @@ import argparse
 import json
 import sys
 
-from repro.core.experiment import ExperimentRunner, SuiteConfig
+from repro.core.experiment import ExperimentRunner, SuiteConfig, default_cache_dir
+from repro.core.profiler2d import ProfilerConfig
+from repro.core.stats import TestThresholds
+from repro.errors import StoreError
 from repro.obs import get_registry, get_tracer
 from repro.analysis import tables
 from repro.analysis.overhead import measure_overheads
 from repro.analysis.timeseries import figure8_series, render_ascii_series
 from repro.workloads import all_workloads, get_workload
+
+
+def _dist_version() -> str:
+    """The installed package version (source-tree fallback: repro.__version__)."""
+    from importlib import metadata
+
+    try:
+        return metadata.version("repro")
+    except metadata.PackageNotFoundError:
+        import repro
+
+        return repro.__version__
 
 _FIG_BUILDERS = {
     "2": lambda runner: tables.render_rows(tables.fig2_rows(), "Figure 2: predication cost"),
@@ -62,9 +80,23 @@ _FIG_BUILDERS = {
 }
 
 
+def _profiler_config(args: argparse.Namespace) -> ProfilerConfig:
+    """The profiler config implied by --std-th/--pam-th (defaults otherwise)."""
+    std_th = getattr(args, "std_th", None)
+    pam_th = getattr(args, "pam_th", None)
+    if std_th is None and pam_th is None:
+        return ProfilerConfig()
+    return ProfilerConfig(thresholds=TestThresholds(
+        std_th=std_th if std_th is not None else TestThresholds.std_th,
+        pam_th=pam_th if pam_th is not None else TestThresholds.pam_th,
+    ))
+
+
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
     jobs = getattr(args, "jobs", 1)
-    return ExperimentRunner(SuiteConfig(scale=args.scale, jobs=jobs))
+    return ExperimentRunner(SuiteConfig(
+        scale=args.scale, jobs=jobs, profiler=_profiler_config(args)
+    ))
 
 
 #: Registries beyond the process-wide one to fold into --metrics-json
@@ -235,7 +267,6 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.core.experiment import default_cache_dir
     from repro.service.server import ProfilingServer, ServiceLimits, serve_until_signalled
 
     checkpoint_dir = args.checkpoint_dir
@@ -245,6 +276,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         checkpoint_dir=None if checkpoint_dir == "" else checkpoint_dir,
+        warehouse_dir=args.warehouse_dir,
         limits=ServiceLimits(
             max_sessions=args.max_sessions,
             max_batch_events=args.max_batch_events,
@@ -289,7 +321,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
-    from repro.core.profiler2d import ProfilerConfig, profile_trace
+    import dataclasses
+
+    from repro.core.profiler2d import profile_trace
     from repro.service.client import StreamingClient, stream_simulation
     from repro.service.protocol import serialize_report
 
@@ -297,10 +331,18 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     _prefetch(runner, [(args.workload, args.input, args.predictor)])
     trace = runner.trace(args.workload, args.input)
     sim = runner.simulation(args.workload, args.input, args.predictor)
-    config = ProfilerConfig().resolve(total_branches=len(trace))
+    config = _profiler_config(args).resolve(total_branches=len(trace))
+    if args.keep_series:
+        config = dataclasses.replace(config, keep_series=True)
     session = args.session or (
         f"{args.workload}-{args.input}-{args.predictor}-s{args.scale:g}"
     )
+    meta = {
+        "workload": args.workload,
+        "input": args.input,
+        "predictor": args.predictor,
+        "scale": args.scale,
+    }
     with StreamingClient(args.host, args.port) as client:
         outcome = stream_simulation(
             client,
@@ -313,6 +355,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             stop_after=args.stop_after_events,
             num_sites=trace.num_sites,
+            meta=meta,
         )
         if not outcome.completed:
             print(f"{session}: paused at {outcome.events_total}/{len(trace)} events "
@@ -341,8 +384,145 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                       file=sys.stderr)
                 code = 1
         if code == 0:
-            client.close_session(session)
+            close = client.close_session(session)
+            run_id = close.get("warehouse_run")
+            if run_id:
+                print(f"stored in warehouse as {run_id}")
     return code
+
+
+# ----------------------------------------------------------------------
+# Warehouse (db) subcommands
+# ----------------------------------------------------------------------
+
+
+def _open_store(args: argparse.Namespace, create: bool = False):
+    from repro.store import ProfileWarehouse
+
+    store = args.store or default_cache_dir() / "warehouse"
+    return ProfileWarehouse(store, create=create)
+
+
+def _cmd_db_ingest(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    warehouse = _open_store(args, create=True)
+    runner = _make_runner(args)
+    config = dataclasses.replace(runner.config.profiler, keep_series=True)
+    _prefetch(runner, [(args.workload, name, args.predictor) for name in args.inputs])
+    for input_name in args.inputs:
+        report = runner.profile_2d(args.workload, args.predictor,
+                                   input_name=input_name, config=config)
+        sim = runner.simulation(args.workload, input_name, args.predictor)
+        run_id = warehouse.ingest(
+            report,
+            workload=args.workload,
+            input_name=input_name,
+            predictor=args.predictor,
+            scale=args.scale,
+            sim=sim,
+            source="cli",
+        )
+        record = warehouse.manifest().runs[run_id]
+        print(f"{run_id}: {args.workload}/{input_name} {args.predictor} "
+              f"scale={args.scale:g} slices={record.n_slices} rows={record.entry_count}")
+    return 0
+
+
+def _cmd_db_query(args: argparse.Namespace) -> int:
+    warehouse = _open_store(args)
+    if args.run is None:
+        records = warehouse.runs(args.workload, args.input, args.predictor)
+        for rec in records:
+            counts = "counts" if rec.has_counts else "no-counts"
+            print(f"{rec.run_id}  {rec.workload}/{rec.input}  {rec.predictor}  "
+                  f"scale={rec.scale:g}  slices={rec.n_slices}  rows={rec.entry_count}  "
+                  f"acc={rec.overall_accuracy:.4f}  {counts}  [{rec.source}]")
+        stats = warehouse.stats()
+        corrupt = f", {stats['corrupt_runs']} CORRUPT" if stats["corrupt_runs"] else ""
+        print(f"total: {stats['runs']} run(s), {stats['segments']} segment(s), "
+              f"{stats['entries']} rows, {stats['bytes']} bytes{corrupt}")
+        return 0
+    run = warehouse.open_run(args.run)
+    if args.site is not None:
+        slices, acc = run.site_series(args.site)
+        for slice_idx, value in zip(slices, acc):
+            print(f"{int(slice_idx):6d} {float(value):.6f}")
+        return 0
+    rec = run.record
+    print(f"{rec.run_id}: {rec.workload}/{rec.input} {rec.predictor} scale={rec.scale:g}")
+    print(f"  config: {json.dumps(rec.config, sort_keys=True)}")
+    print(f"  slices={rec.n_slices} sites={rec.num_sites} rows={rec.entry_count} "
+          f"overall={rec.overall_accuracy:.6f} counts={'yes' if rec.has_counts else 'no'}")
+    branch_counts = run.branch_counts()
+    profiled = sorted(run.profiled_sites(), key=lambda s: -int(branch_counts[s]))
+    shown = profiled[:args.top]
+    print(f"  profiled branches ({len(shown)} shown of {len(profiled)}):")
+    for site in shown:
+        print(f"    site {site}: {int(branch_counts[site])} qualifying slices")
+    return 0
+
+
+def _cmd_db_diff(args: argparse.Namespace) -> int:
+    from repro.store import diff_runs
+
+    warehouse = _open_store(args)
+    train = warehouse.open_run(args.train)
+    others = [warehouse.open_run(run_id) for run_id in args.others]
+    truth = diff_runs(train, others, threshold=args.threshold,
+                      min_executions=args.min_executions)
+    dependent = sorted(truth.dependent)
+    print(f"train: {train.run_id} vs {' '.join(o.run_id for o in others)}")
+    print(f"comparable sites: {len(truth.universe)}")
+    print(f"input-dependent ({len(dependent)}): {' '.join(map(str, dependent))}")
+    print(f"dependent fraction: {truth.dependent_fraction:.6f}")
+    return 0
+
+
+def _cmd_db_reclassify(args: argparse.Namespace) -> int:
+    from repro.store import reclassify
+
+    warehouse = _open_store(args)
+    run = warehouse.open_run(args.run)
+    result = reclassify(run, std_th=args.std_th, pam_th=args.pam_th)
+    th = result["thresholds"]
+    print(f"{run.run_id}: mean_th={th['mean_th']} std_th={th['std_th']} pam_th={th['pam_th']}")
+    print(f"profiled branches: {len(result['profiled'])}")
+    dependent = result["input_dependent"]
+    print(f"input-dependent ({len(dependent)}): {' '.join(map(str, dependent))}")
+    return 0
+
+
+def _cmd_db_join(args: argparse.Namespace) -> int:
+    from repro.store import join_runs
+
+    warehouse = _open_store(args)
+    rows = join_runs(warehouse.open_run(args.a), warehouse.open_run(args.b))
+    agree = sum(1 for row in rows if row["agree"])
+    print(f"{args.a} vs {args.b}: {len(rows)} shared branches, {agree} agree")
+    for row in rows:
+        if args.all or not row["agree"]:
+            print(f"  site {row['site']:4d}: "
+                  f"a mean={row['a_mean']:.3f} std={row['a_std']:.3f} dep={row['a_dependent']}  "
+                  f"b mean={row['b_mean']:.3f} std={row['b_std']:.3f} dep={row['b_dependent']}")
+    return 0
+
+
+def _cmd_db_compact(args: argparse.Namespace) -> int:
+    warehouse = _open_store(args)
+    stats = warehouse.compact()
+    print(f"compacted {stats.runs_rewritten} run(s): "
+          f"{stats.segments_before} -> {stats.segments_after} segment(s), "
+          f"{stats.bytes_written} bytes written")
+    return 0
+
+
+def _cmd_db_gc(args: argparse.Namespace) -> int:
+    warehouse = _open_store(args)
+    stats = warehouse.gc(purge_corrupt=args.purge_corrupt)
+    print(f"gc: removed {stats.segments_removed} segment dir(s), "
+          f"{stats.tmp_files_removed} tmp file(s), purged {stats.runs_purged} run(s)")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -350,6 +530,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-2dprof",
         description="2D-profiling (CGO 2006) reproduction driver",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_dist_version()}")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="input-size multiplier for all workloads (default 1.0)")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -366,9 +548,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics-json", default=None, metavar="FILE",
                        help="write the metrics-registry snapshot to FILE")
 
+    def add_thresholds(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--std-th", type=float, default=None,
+                       help=f"STD-test threshold (default {TestThresholds.std_th})")
+        p.add_argument("--pam-th", type=float, default=None,
+                       help=f"PAM-test threshold (default {TestThresholds.pam_th})")
+
     p = sub.add_parser("profile", help="run 2D-profiling on one workload's train input")
     p.add_argument("workload")
     p.add_argument("--predictor", default="gshare")
+    add_thresholds(p)
     add_jobs(p)
     add_obs(p)
     p.set_defaults(func=_cmd_profile)
@@ -378,12 +567,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--predictor", default="gshare")
     p.add_argument("--target-predictor", default=None,
                    help="ground-truth predictor (default: same as --predictor)")
+    add_thresholds(p)
     add_jobs(p)
     add_obs(p)
     p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser("fig", help="print a paper figure/table (2,3,4,5,10..15,t1,t2,t4)")
     p.add_argument("figure")
+    add_thresholds(p)
     add_jobs(p)
     add_obs(p)
     p.set_defaults(func=_cmd_fig)
@@ -415,6 +606,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default <cache>/service; '' disables checkpointing)")
     p.add_argument("--idle-timeout", type=float, default=None,
                    help="seconds before an idle session is checkpointed and evicted")
+    p.add_argument("--warehouse-dir", default=None,
+                   help="profile warehouse root; closed keep-series sessions are "
+                        "ingested there (default: no warehouse)")
     p.add_argument("--max-sessions", type=int, default=256)
     p.add_argument("--max-batch-events", type=int, default=1 << 20)
     add_obs(p)
@@ -443,12 +637,87 @@ def build_parser() -> argparse.ArgumentParser:
                         "interrupted-producer testing")
     p.add_argument("--resume", action="store_true",
                    help="resume the session from the server's checkpointed offset")
+    p.add_argument("--keep-series", action="store_true",
+                   help="profile with the raw slice matrix retained so the server "
+                        "can finalize the session into its warehouse")
     p.add_argument("--verify", action="store_true",
                    help="compare the streamed report bit-for-bit against offline "
                         "profile_trace; non-zero exit on mismatch")
+    add_thresholds(p)
     add_jobs(p)
     add_obs(p)
     p.set_defaults(func=_cmd_stream)
+
+    p = sub.add_parser("db", help="query and maintain the profile warehouse")
+    db = p.add_subparsers(dest="db_command", required=True)
+
+    def add_store(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store", default=None,
+                       help="warehouse root (default <cache>/warehouse)")
+
+    p = db.add_parser("ingest", help="profile a workload and store the run(s)")
+    p.add_argument("workload")
+    p.add_argument("--inputs", nargs="+", default=["train"],
+                   help="input names to profile and store (default: train)")
+    p.add_argument("--predictor", default="gshare")
+    add_store(p)
+    add_thresholds(p)
+    add_jobs(p)
+    add_obs(p)
+    p.set_defaults(func=_cmd_db_ingest)
+
+    p = db.add_parser("query", help="list stored runs, or read one run / one branch")
+    p.add_argument("run", nargs="?", default=None,
+                   help="run id to inspect (omit to list the catalog)")
+    p.add_argument("--site", type=int, default=None,
+                   help="print this branch's (slice, accuracy) time series")
+    p.add_argument("--top", type=int, default=10,
+                   help="branches shown in the per-run index summary")
+    p.add_argument("--workload", default=None, help="catalog filter")
+    p.add_argument("--input", default=None, help="catalog filter")
+    p.add_argument("--predictor", default=None, help="catalog filter")
+    add_store(p)
+    add_obs(p)
+    p.set_defaults(func=_cmd_db_query)
+
+    p = db.add_parser("diff", help="ground-truth input-dependence from stored runs")
+    p.add_argument("train", help="run id of the train-input run")
+    p.add_argument("others", nargs="+", help="run id(s) to compare against")
+    p.add_argument("--threshold", type=float, default=0.05,
+                   help="accuracy-delta threshold (default 0.05)")
+    p.add_argument("--min-executions", type=int, default=30,
+                   help="minimum executions in both runs (default 30)")
+    add_store(p)
+    add_obs(p)
+    p.set_defaults(func=_cmd_db_diff)
+
+    p = db.add_parser("reclassify", help="re-run MEAN/STD/PAM over a stored run")
+    p.add_argument("run")
+    add_store(p)
+    add_thresholds(p)
+    add_obs(p)
+    p.set_defaults(func=_cmd_db_reclassify)
+
+    p = db.add_parser("join", help="per-branch join of two stored runs")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.add_argument("--all", action="store_true",
+                   help="print agreeing branches too (default: disagreements only)")
+    add_store(p)
+    add_obs(p)
+    p.set_defaults(func=_cmd_db_join)
+
+    p = db.add_parser("compact", help="rewrite all live runs into one segment")
+    add_store(p)
+    add_obs(p)
+    p.set_defaults(func=_cmd_db_compact)
+
+    p = db.add_parser("gc", help="sweep unreferenced segments and tmp litter")
+    p.add_argument("--purge-corrupt", action="store_true",
+                   help="also drop committed runs whose segment data is damaged")
+    add_store(p)
+    add_obs(p)
+    p.set_defaults(func=_cmd_db_gc)
 
     p = sub.add_parser("whatif", help="predication policy comparison (profile train, run ref)")
     p.add_argument("workloads", nargs="*", default=["gzipish", "gapish", "vortexish"])
@@ -476,6 +745,9 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:
         # Output was piped into a pager/head that closed early; not an error.
         return 0
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     finally:
         _finalize_obs(args)
 

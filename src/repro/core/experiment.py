@@ -10,6 +10,7 @@ runs across figures.
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 import os
 import zipfile
@@ -64,7 +65,9 @@ class SuiteConfig:
     """Shared parameters of one experiment campaign.
 
     ``jobs`` is the default worker-process count for :meth:`ExperimentRunner.prefetch`
-    (1 = in-process serial; 0/None = one per CPU).
+    (1 = in-process serial; 0/None = one per CPU).  ``warehouse_dir``
+    enables the profile warehouse: every profiling run is auto-ingested
+    into the columnar store at that path (see :mod:`repro.store`).
     """
 
     scale: float = 1.0
@@ -74,6 +77,7 @@ class SuiteConfig:
     min_executions: int = DEFAULT_MIN_EXECUTIONS
     use_disk_cache: bool = True
     jobs: int = 1
+    warehouse_dir: Path | None = None
 
 
 class ExperimentRunner:
@@ -83,6 +87,22 @@ class ExperimentRunner:
         self.config = config or SuiteConfig()
         self._traces: dict[tuple[str, str], BranchTrace] = {}
         self._sims: dict[tuple[str, str, str], SimulationResult] = {}
+        self._warehouse = None
+
+    @property
+    def warehouse(self):
+        """The configured :class:`~repro.store.warehouse.ProfileWarehouse`.
+
+        Raises :class:`ExperimentError` when ``SuiteConfig.warehouse_dir``
+        is unset — callers must opt in to the store.
+        """
+        if self.config.warehouse_dir is None:
+            raise ExperimentError("SuiteConfig.warehouse_dir is not configured")
+        if self._warehouse is None:
+            from repro.store import ProfileWarehouse
+
+            self._warehouse = ProfileWarehouse(self.config.warehouse_dir)
+        return self._warehouse
 
     # ------------------------------------------------------------------
     # Cache paths
@@ -269,10 +289,29 @@ class ExperimentRunner:
         input_name: str = "train",
         config: ProfilerConfig | None = None,
     ) -> TwoDReport:
-        """Run 2D-profiling for a workload (train input, by default)."""
+        """Run 2D-profiling for a workload (train input, by default).
+
+        With ``SuiteConfig.warehouse_dir`` set, the report (profiled with
+        ``keep_series=True``) is also ingested into the profile warehouse;
+        identical re-runs dedupe against the stored copy.
+        """
         trace = self.trace(workload, input_name)
         sim = self.simulation(workload, input_name, predictor)
-        return profile_trace(trace, simulation=sim, config=config or self.config.profiler)
+        config = config or self.config.profiler
+        if self.config.warehouse_dir is not None and not config.keep_series:
+            config = dataclasses.replace(config, keep_series=True)
+        report = profile_trace(trace, simulation=sim, config=config)
+        if self.config.warehouse_dir is not None:
+            self.warehouse.ingest(
+                report,
+                workload=workload,
+                input_name=input_name,
+                predictor=predictor,
+                scale=self.config.scale,
+                sim=sim,
+                source="experiment",
+            )
+        return report
 
     def ground_truth(
         self,

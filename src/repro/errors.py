@@ -63,6 +63,10 @@ class ExperimentError(ReproError):
     """An experiment specification or cached artifact is invalid."""
 
 
+class StoreError(ReproError):
+    """Profile-warehouse failure (manifest, segment, or query)."""
+
+
 class ServiceError(ReproError):
     """Streaming-service failure (session, checkpoint, or transport)."""
 

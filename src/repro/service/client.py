@@ -113,15 +113,20 @@ class StreamingClient:
         num_sites: int,
         config: ProfilerConfig,
         resume: bool = False,
+        meta: dict | None = None,
     ) -> dict:
         """Open (or reattach/resume) a session; reply carries the offset.
 
         ``reply["events"]`` is the number of events already folded into
         the server-side profiler — the index this client must continue
-        streaming from for an exact, gap-free stream.
+        streaming from for an exact, gap-free stream.  ``meta`` tags the
+        session for warehouse ingestion on close (workload, input,
+        predictor, scale).
         """
         message = {"op": "open", "session": name, "num_sites": num_sites,
                    "resume": resume, **config_payload(config)}
+        if meta:
+            message["meta"] = meta
         reply = self._checked(self._request(protocol.encode_control(message)))
         self._session_ids[name] = int(reply["session_id"])
         return reply
@@ -182,6 +187,7 @@ def stream_simulation(
     stop_after: Optional[int] = None,
     num_sites: Optional[int] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    meta: Optional[dict] = None,
 ) -> StreamOutcome:
     """Replay a correctness stream into a server session.
 
@@ -197,7 +203,7 @@ def stream_simulation(
     if batch_size <= 0:
         raise ServiceError("batch_size must be positive")
     total = len(sites)
-    reply = client.open_session(session, num_sites, config, resume=resume)
+    reply = client.open_session(session, num_sites, config, resume=resume, meta=meta)
     start = int(reply["events"])
     if start > total:
         raise ServiceError(

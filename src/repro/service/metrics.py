@@ -29,6 +29,7 @@ _COUNTERS = (
     ("frames_total", "frames accepted"),
     ("frames_rejected", "frames rejected (malformed or over limits)"),
     ("checkpoints_written", "session checkpoints written"),
+    ("runs_ingested", "closed sessions finalized into the profile warehouse"),
     ("queries_served", "query ops answered"),
     ("bytes_in", "request bytes received (headers + payloads)"),
     ("bytes_out", "reply bytes sent"),

@@ -67,26 +67,44 @@ class _Session:
     """One live profiling session: a profiler plus bookkeeping."""
 
     def __init__(self, name: str, session_id: int, profiler: TwoDProfiler,
-                 events_received: int = 0):
+                 events_received: int = 0, meta: dict | None = None):
         self.name = name
         self.session_id = session_id
         self.profiler = profiler
         self.events_received = events_received
+        self.meta = meta or {}
         self.last_active = asyncio.get_running_loop().time()
         self.opened_at_us = time.time_ns() / 1e3
 
     def touch(self) -> None:
         self.last_active = asyncio.get_running_loop().time()
 
-    def report_payload(self) -> dict:
-        """Serialize the report of a *copy* so the live state keeps going.
+    def final_report(self):
+        """The report of a *copy* so the live state keeps going.
 
         ``finish()`` folds a sufficiently full trailing slice, which
         mutates; querying through a state-dict clone keeps the live
         profiler byte-identical to one that was never queried.
         """
         clone = TwoDProfiler.from_state(self.profiler.state_dict())
-        return protocol.serialize_report(clone.finish())
+        return clone.finish()
+
+    def report_payload(self) -> dict:
+        return protocol.serialize_report(self.final_report())
+
+
+def _validate_meta(meta) -> dict:
+    """Check the optional open-frame session metadata (warehouse tags)."""
+    if meta is None:
+        return {}
+    if not isinstance(meta, dict):
+        raise ServiceError("meta must be a JSON object")
+    for key, value in meta.items():
+        if not isinstance(key, str):
+            raise ServiceError("meta keys must be strings")
+        if not isinstance(value, (str, int, float, bool)):
+            raise ServiceError(f"meta[{key!r}] must be a scalar")
+    return dict(meta)
 
 
 def _config_from_message(message: dict) -> ProfilerConfig:
@@ -121,10 +139,13 @@ class ProfilingServer:
         port: int = 0,
         checkpoint_dir: str | Path | None = None,
         limits: ServiceLimits | None = None,
+        warehouse_dir: str | Path | None = None,
     ):
         self.host = host
         self.port = port
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.warehouse_dir = Path(warehouse_dir) if warehouse_dir else None
+        self._warehouse = None
         self.limits = limits or ServiceLimits()
         self.metrics = ServiceMetrics()
         self._sessions: dict[str, _Session] = {}
@@ -353,7 +374,8 @@ class ProfilingServer:
                     )
                 profiler = TwoDProfiler(num_sites, _config_from_message(message))
                 events = 0
-            session = _Session(name, self._next_id, profiler, events)
+            session = _Session(name, self._next_id, profiler, events,
+                               meta=_validate_meta(message.get("meta")))
             self._next_id += 1
             self._sessions[name] = session
             self._by_id[session.session_id] = session
@@ -409,7 +431,8 @@ class ProfilingServer:
 
     def _op_close(self, message: dict) -> dict:
         session = self._require_session(message)
-        report = session.report_payload()
+        final = session.final_report()
+        warehouse_run = self._finalize_to_warehouse(session, final)
         self._drop_session(session)
         if self.checkpoint_dir is not None:
             ckpt.delete_checkpoint(self.checkpoint_dir, session.name)
@@ -419,8 +442,59 @@ class ProfilingServer:
             "op": "close",
             "session": session.name,
             "events": session.events_received,
-            "report": report,
+            "report": protocol.serialize_report(final),
+            "warehouse_run": warehouse_run,
         }
+
+    # ------------------------------------------------------------------
+    # Warehouse finalization
+    # ------------------------------------------------------------------
+
+    @property
+    def warehouse(self):
+        """Lazily opened :class:`~repro.store.warehouse.ProfileWarehouse`."""
+        if self._warehouse is None and self.warehouse_dir is not None:
+            from repro.store import ProfileWarehouse
+
+            self._warehouse = ProfileWarehouse(self.warehouse_dir)
+        return self._warehouse
+
+    def _finalize_to_warehouse(self, session: _Session, report) -> str | None:
+        """Ingest a closing session's report into the profile warehouse.
+
+        Best-effort: a warehouse failure is logged and counted, never
+        surfaced to the client — closing the session must always work.
+        Sessions profiled without ``keep_series`` cannot be stored (there
+        is no matrix to ingest) and are skipped with a log line.
+        """
+        if self.warehouse_dir is None:
+            return None
+        if report.series is None:
+            log.info("session %r closed without keep_series; not ingested",
+                     session.name)
+            return None
+        meta = session.meta
+        try:
+            run_id = self.warehouse.ingest(
+                report,
+                workload=str(meta.get("workload", session.name)),
+                input_name=str(meta.get("input", "live")),
+                predictor=str(meta.get("predictor", "stream")),
+                scale=float(meta.get("scale", 1.0)),
+                source="service",
+            )
+        except Exception as exc:
+            from repro.errors import StoreError
+
+            if not isinstance(exc, (StoreError, OSError, ValueError)):
+                raise
+            log.warning("warehouse ingest failed for session %r: %s",
+                        session.name, exc)
+            self.metrics.frames_rejected.inc()
+            return None
+        self.metrics.runs_ingested.inc()
+        log.info("session %r finalized into warehouse as %s", session.name, run_id)
+        return run_id
 
     def _op_stats(self, message: dict) -> dict:
         payload = self.metrics.snapshot(active_sessions=len(self._sessions))

@@ -1,0 +1,111 @@
+"""The warehouse manifest: one JSON file, committed atomically.
+
+The manifest is the store's *only* source of truth — a run or segment
+exists exactly when the manifest says so.  Commits reuse the experiment
+cache's crash-safety primitives (:func:`repro.cachefs.atomic_write_bytes`
+under :func:`repro.cachefs.artifact_lock`), so a reader always sees either
+the previous manifest or the new one, and concurrent committers serialize
+on the flock sidecar.
+
+Because segment data is written *before* the manifest commit and is
+immutable afterwards (append-only store), kill -9 at any instant leaves
+one of two states: the new segment is unreferenced garbage (``gc`` sweeps
+it), or it is fully committed.  There is no third state.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.cachefs import artifact_lock, atomic_write_bytes
+from repro.errors import StoreError
+from repro.store.layout import STORE_VERSION, RunRecord, SegmentRecord
+
+
+@dataclass
+class Manifest:
+    """In-memory image of ``manifest.json``."""
+
+    version: int = STORE_VERSION
+    next_run: int = 1
+    runs: dict[str, RunRecord] = field(default_factory=dict)
+    segments: dict[str, SegmentRecord] = field(default_factory=dict)
+
+    def allocate_run_id(self) -> str:
+        run_id = f"r{self.next_run:06d}"
+        self.next_run += 1
+        return run_id
+
+    def add_run(self, record: RunRecord) -> None:
+        self.runs[record.run_id] = record
+
+    def add_segment(self, record: SegmentRecord) -> None:
+        self.segments[record.uid] = record
+
+    def to_json(self) -> dict:
+        return {
+            "version": self.version,
+            "next_run": self.next_run,
+            "runs": {run_id: rec.to_json() for run_id, rec in self.runs.items()},
+            "segments": {uid: rec.to_json() for uid, rec in self.segments.items()},
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Manifest":
+        if not isinstance(data, dict):
+            raise StoreError("manifest must be a JSON object")
+        version = data.get("version")
+        if version != STORE_VERSION:
+            raise StoreError(f"unsupported store version {version!r}")
+        manifest = cls(version=version, next_run=int(data.get("next_run", 1)))
+        for run_id, rec in data.get("runs", {}).items():
+            manifest.runs[run_id] = RunRecord.from_json(rec)
+        for uid, rec in data.get("segments", {}).items():
+            manifest.segments[uid] = SegmentRecord.from_json(rec)
+        return manifest
+
+
+def load_manifest(path: str | Path) -> Manifest:
+    """Read a manifest; an absent file is an empty store.
+
+    A manifest that exists but cannot be parsed raises
+    :class:`~repro.errors.StoreError` — atomic commits mean a torn file is
+    impossible, so garbage here is external damage and silently treating
+    it as empty would orphan (and eventually garbage-collect) real data.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        return Manifest()
+    except OSError as exc:
+        raise StoreError(f"cannot read manifest {path}: {exc}") from exc
+    try:
+        return Manifest.from_json(json.loads(text))
+    except (json.JSONDecodeError, ValueError, TypeError) as exc:
+        raise StoreError(f"corrupt manifest {path}: {exc}") from exc
+
+
+def save_manifest(path: str | Path, manifest: Manifest) -> None:
+    """Atomically publish ``manifest`` (caller must hold the commit lock)."""
+    body = json.dumps(manifest.to_json(), indent=1, sort_keys=True) + "\n"
+    atomic_write_bytes(path, body.encode("utf-8"))
+
+
+@contextlib.contextmanager
+def manifest_commit(path: str | Path) -> Iterator[Manifest]:
+    """Read-modify-write one manifest commit under the store's lock.
+
+    Yields a *fresh* manifest image (re-read under the lock, so a
+    concurrent committer's changes are visible); publishes it atomically
+    on clean exit, publishes nothing if the body raises.
+    """
+    path = Path(path)
+    with artifact_lock(path):
+        manifest = load_manifest(path)
+        yield manifest
+        save_manifest(path, manifest)

@@ -1,0 +1,383 @@
+"""The profile warehouse: an append-only columnar store of 2D-profiles.
+
+:class:`ProfileWarehouse` turns profiling runs from transient in-memory
+objects into a durable, queryable dataset.  Every cross-input question the
+experiment suite answers by re-simulating traces (ground-truth deltas,
+cross-predictor joins, threshold sweeps) can be answered from the store
+with zero trace replay — see :mod:`repro.store.queries`.
+
+Durability contract (mirrors the experiment cache's, tested in
+``tests/test_store_durability.py``):
+
+* **Commit protocol** — segment arrays are fully written and fsynced
+  *before* the manifest commit; the manifest is published atomically
+  under a flock.  kill -9 at any instant leaves the store openable, with
+  the interrupted run simply absent.
+* **Garbage, not corruption** — segment directories the manifest does not
+  reference are leftovers of crashed ingests; :meth:`gc` sweeps them
+  (and ``*.tmp`` litter).  They are never opened by queries.
+* **Corruption-as-miss** — a committed run whose segment files are later
+  truncated or overwritten fails validation; :meth:`find` skips it (so
+  callers re-ingest) and :meth:`check` names it for ``gc --purge-corrupt``.
+"""
+
+from __future__ import annotations
+
+import logging
+import shutil
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.cachefs import TMP_SUFFIX
+from repro.errors import StoreError
+from repro.obs import get_registry, get_tracer
+from repro.store.layout import (
+    MANIFEST_NAME,
+    SEGMENTS_DIRNAME,
+    RunRecord,
+    SegmentRecord,
+    config_digest,
+    csr_from_series,
+    profiler_config_dict,
+)
+from repro.store.manifest import load_manifest, manifest_commit
+from repro.store.queries import StoredRun
+from repro.store.segments import SegmentBuilder, SegmentReader
+
+log = logging.getLogger(__name__)
+
+
+@dataclass
+class GcStats:
+    """What one :meth:`ProfileWarehouse.gc` pass removed."""
+
+    segments_removed: int = 0
+    tmp_files_removed: int = 0
+    runs_purged: int = 0
+
+
+@dataclass
+class CompactStats:
+    """Outcome of one :meth:`ProfileWarehouse.compact` pass."""
+
+    runs_rewritten: int = 0
+    segments_before: int = 0
+    segments_after: int = 0
+    bytes_written: int = 0
+
+
+class ProfileWarehouse:
+    """Open (or create) the profile warehouse rooted at ``root``."""
+
+    def __init__(self, root: str | Path, create: bool = True):
+        self.root = Path(root)
+        self.manifest_path = self.root / MANIFEST_NAME
+        self.segments_root = self.root / SEGMENTS_DIRNAME
+        if create:
+            self.segments_root.mkdir(parents=True, exist_ok=True)
+        elif not self.root.is_dir():
+            raise StoreError(f"no warehouse at {self.root}")
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def ingest(
+        self,
+        report,
+        *,
+        workload: str,
+        input_name: str,
+        predictor: str,
+        scale: float = 1.0,
+        sim=None,
+        source: str = "experiment",
+        dedupe: bool = True,
+    ) -> str:
+        """Append one profiling run; returns its run id.
+
+        ``report`` is a :class:`~repro.core.profiler2d.TwoDReport` produced
+        with ``keep_series=True`` (the raw slice matrix is the stored
+        payload).  ``sim`` optionally supplies the run's per-site
+        exec/correct counts (a :class:`~repro.predictors.simulate.SimulationResult`
+        or anything with ``exec_counts``/``correct_counts``); without it
+        the run cannot participate in ground-truth ``diff`` queries.
+
+        With ``dedupe`` (default), a run already stored under the same
+        (workload, input, predictor, config-digest, scale) key is returned
+        as-is instead of being appended again.
+        """
+        if report.series is None:
+            raise StoreError(
+                "ingest needs the raw slice matrix; profile with keep_series=True"
+            )
+        config = profiler_config_dict(report.config)
+        digest = config_digest(config)
+        tracer = get_tracer()
+        with tracer.span("store.ingest", cat="store", workload=workload,
+                         input=input_name, predictor=predictor) as sp:
+            if dedupe:
+                existing = self.find(workload, input_name, predictor,
+                                     digest=digest, scale=scale)
+                if existing is not None:
+                    sp.set("dedupe", "hit")
+                    return existing.run_id
+
+            acc, slice_idx, indptr = csr_from_series(report.series)
+            num_sites = report.num_sites
+            n_slices = int(report.series.shape[0])
+            has_counts = sim is not None
+            if has_counts:
+                exec_counts = np.asarray(sim.exec_counts, dtype=np.int64)
+                correct_counts = np.asarray(sim.correct_counts, dtype=np.int64)
+                if exec_counts.size != num_sites:
+                    raise StoreError("sim counts do not match the report's num_sites")
+            else:
+                exec_counts = np.zeros(num_sites, dtype=np.int64)
+                correct_counts = np.zeros(num_sites, dtype=np.int64)
+            overall = (
+                np.asarray(report.slice_overall, dtype=np.float64)
+                if report.slice_overall is not None
+                else np.zeros(n_slices, dtype=np.float64)
+            )
+
+            builder = SegmentBuilder()
+            offsets = builder.add_run(acc, slice_idx, indptr,
+                                      exec_counts, correct_counts, overall)
+            uid = f"seg-{uuid.uuid4().hex[:12]}"
+            sizes = builder.write(self.segments_root / uid)
+
+            with manifest_commit(self.manifest_path) as manifest:
+                run_id = manifest.allocate_run_id()
+                manifest.add_segment(
+                    SegmentRecord(uid=uid, entries=builder.entries, files=sizes))
+                manifest.add_run(RunRecord(
+                    run_id=run_id,
+                    workload=workload,
+                    input=input_name,
+                    predictor=predictor,
+                    scale=float(scale),
+                    source=source,
+                    config=config,
+                    num_sites=num_sites,
+                    n_slices=n_slices,
+                    overall_accuracy=float(report.overall_accuracy),
+                    has_counts=has_counts,
+                    segment=uid,
+                    **offsets,
+                ))
+            self._count_ingest(builder.entries, sizes)
+            sp.set("run_id", run_id)
+            sp.set("rows", builder.entries)
+            return run_id
+
+    @staticmethod
+    def _count_ingest(rows: int, sizes: dict[str, int]) -> None:
+        registry = get_registry()
+        registry.counter("store_runs_total", "runs committed to the warehouse").inc()
+        registry.counter("store_segments_total", "segments written").inc()
+        registry.counter("store_rows_total", "columnar entries committed").inc(rows)
+        registry.counter("store_bytes_total", "segment bytes written").inc(sum(sizes.values()))
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+
+    def manifest(self):
+        """A fresh manifest image (the store has no in-memory caching)."""
+        return load_manifest(self.manifest_path)
+
+    def runs(
+        self,
+        workload: str | None = None,
+        input_name: str | None = None,
+        predictor: str | None = None,
+    ) -> list[RunRecord]:
+        """Committed runs matching the filters, oldest first."""
+        records = [
+            rec for rec in self.manifest().runs.values()
+            if (workload is None or rec.workload == workload)
+            and (input_name is None or rec.input == input_name)
+            and (predictor is None or rec.predictor == predictor)
+        ]
+        return sorted(records, key=lambda rec: rec.run_id)
+
+    def find(
+        self,
+        workload: str,
+        input_name: str,
+        predictor: str,
+        digest: str | None = None,
+        scale: float | None = None,
+    ) -> RunRecord | None:
+        """Latest *valid* run under a key; corrupt candidates are misses."""
+        manifest = self.manifest()
+        candidates = [
+            rec for rec in manifest.runs.values()
+            if rec.key == (workload, input_name, predictor)
+            and (digest is None or rec.digest == digest)
+            and (scale is None or rec.scale == scale)
+        ]
+        for rec in sorted(candidates, key=lambda rec: rec.run_id, reverse=True):
+            try:
+                self._reader(manifest, rec).validate()
+            except StoreError as exc:
+                log.warning("run %s unreadable (%s); treating as missing", rec.run_id, exc)
+                get_registry().counter(
+                    "store_corrupt_total", "runs skipped due to segment corruption").inc()
+                continue
+            return rec
+        return None
+
+    def _reader(self, manifest, record: RunRecord) -> SegmentReader:
+        segment = manifest.segments.get(record.segment)
+        if segment is None:
+            raise StoreError(f"run {record.run_id} references unknown segment "
+                             f"{record.segment}")
+        return SegmentReader(self.segments_root / segment.uid, segment.files)
+
+    def open_run(self, run: str | RunRecord) -> StoredRun:
+        """A query handle over one committed run (validated, memmapped)."""
+        manifest = self.manifest()
+        if isinstance(run, str):
+            record = manifest.runs.get(run)
+            if record is None:
+                raise StoreError(f"unknown run {run!r}")
+        else:
+            record = run
+        reader = self._reader(manifest, record)
+        reader.validate()
+        return StoredRun(record, reader)
+
+    def check(self) -> list[str]:
+        """Run ids whose segment data fails validation (corrupt/missing)."""
+        manifest = self.manifest()
+        corrupt = []
+        for run_id, record in sorted(manifest.runs.items()):
+            try:
+                self._reader(manifest, record).validate()
+            except StoreError:
+                corrupt.append(run_id)
+        return corrupt
+
+    def stats(self) -> dict:
+        """Catalog summary: run/segment counts, rows, bytes on disk."""
+        manifest = self.manifest()
+        total_bytes = sum(
+            sum(seg.files.values()) for seg in manifest.segments.values())
+        return {
+            "runs": len(manifest.runs),
+            "segments": len(manifest.segments),
+            "entries": sum(seg.entries for seg in manifest.segments.values()),
+            "bytes": total_bytes,
+            "corrupt_runs": len(self.check()),
+        }
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def gc(self, purge_corrupt: bool = False) -> GcStats:
+        """Sweep crash leftovers: unreferenced segment dirs and tmp files.
+
+        With ``purge_corrupt``, committed runs whose segment data fails
+        validation are also dropped from the manifest (their segments are
+        then unreferenced and removed on the same pass).  Like
+        :func:`repro.cachefs.sweep_tmp_files`, gc assumes no ingest is
+        concurrently mid-commit.
+        """
+        stats = GcStats()
+        with get_tracer().span("store.gc", cat="store"):
+            if purge_corrupt:
+                corrupt = set(self.check())
+                if corrupt:
+                    with manifest_commit(self.manifest_path) as manifest:
+                        for run_id in corrupt:
+                            if run_id in manifest.runs:
+                                del manifest.runs[run_id]
+                                stats.runs_purged += 1
+                        self._drop_orphan_segments(manifest)
+            manifest = self.manifest()
+            live = set(manifest.segments)
+            for path in sorted(self.segments_root.iterdir() if self.segments_root.is_dir() else []):
+                if path.name.endswith(TMP_SUFFIX) or (path.is_file() and TMP_SUFFIX in path.name):
+                    path.unlink(missing_ok=True)
+                    stats.tmp_files_removed += 1
+                elif path.is_dir() and path.name not in live:
+                    for leftover in path.iterdir():
+                        leftover.unlink(missing_ok=True)
+                    path.rmdir()
+                    stats.segments_removed += 1
+            for leftover in self.root.glob(f"*{TMP_SUFFIX}"):
+                leftover.unlink(missing_ok=True)
+                stats.tmp_files_removed += 1
+        if stats.segments_removed or stats.tmp_files_removed or stats.runs_purged:
+            log.info("store gc: removed %d segment dir(s), %d tmp file(s), "
+                     "purged %d run(s)", stats.segments_removed,
+                     stats.tmp_files_removed, stats.runs_purged)
+        return stats
+
+    @staticmethod
+    def _drop_orphan_segments(manifest) -> None:
+        referenced = {rec.segment for rec in manifest.runs.values()}
+        for uid in [uid for uid in manifest.segments if uid not in referenced]:
+            del manifest.segments[uid]
+
+    def compact(self) -> CompactStats:
+        """Rewrite every live run into one consolidated segment.
+
+        The new segment is fully written before the manifest repoints the
+        runs at it, so compaction interrupted at any instant leaves either
+        the old layout (plus an unreferenced new segment — gc fodder) or
+        the new one.  Superseded segment directories are unlinked after
+        the commit; if that is interrupted, gc finishes the job.
+        """
+        with get_tracer().span("store.compact", cat="store") as sp:
+            manifest = self.manifest()
+            records = sorted(manifest.runs.values(), key=lambda rec: rec.run_id)
+            stats = CompactStats(segments_before=len(manifest.segments))
+            if not records:
+                return stats
+            builder = SegmentBuilder()
+            offsets_by_run: dict[str, dict[str, int]] = {}
+            for record in records:
+                run = StoredRun(record, self._reader(manifest, record))
+                slice_idx, acc = run.reader.run_entries(record)
+                indptr = run.reader.run_indptr(record)
+                exec_counts, correct_counts = run.reader.run_counts(record)
+                overall = run.reader.run_overall(record)
+                # Rebase indptr to the run-local origin the record expects.
+                offsets_by_run[record.run_id] = builder.add_run(
+                    np.asarray(acc), np.asarray(slice_idx),
+                    np.asarray(indptr) - int(indptr[0]),
+                    np.asarray(exec_counts), np.asarray(correct_counts),
+                    np.asarray(overall),
+                )
+            uid = f"seg-{uuid.uuid4().hex[:12]}"
+            sizes = builder.write(self.segments_root / uid)
+            stats.bytes_written = sum(sizes.values())
+
+            with manifest_commit(self.manifest_path) as manifest:
+                manifest.add_segment(
+                    SegmentRecord(uid=uid, entries=builder.entries, files=sizes))
+                for record in records:
+                    live = manifest.runs.get(record.run_id)
+                    if live is None or live.segment != record.segment:
+                        continue  # changed underneath us; leave it alone
+                    live.segment = uid
+                    for name, value in offsets_by_run[record.run_id].items():
+                        setattr(live, name, value)
+                    stats.runs_rewritten += 1
+                self._drop_orphan_segments(manifest)
+                stats.segments_after = len(manifest.segments)
+            # Best-effort removal of superseded directories; gc can finish.
+            live_uids = set(self.manifest().segments)
+            for path in self.segments_root.iterdir():
+                if path.is_dir() and path.name not in live_uids:
+                    shutil.rmtree(path, ignore_errors=True)
+            get_registry().counter("store_compactions_total", "compaction passes").inc()
+            sp.set("runs", stats.runs_rewritten)
+            return stats

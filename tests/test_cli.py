@@ -153,3 +153,115 @@ class TestExtensionCommands:
         content = out.read_text()
         assert "Figure 10" in content and "Figure 16" not in content
         assert "Table 4" in content
+
+
+class TestVersionAndThresholds:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro-2dprof 1." in capsys.readouterr().out
+
+    def test_threshold_flags_parse(self):
+        args = build_parser().parse_args(
+            ["profile", "gzipish", "--std-th", "0.08", "--pam-th", "0.1"])
+        assert args.std_th == 0.08 and args.pam_th == 0.1
+        for command in (["evaluate", "gzipish"], ["fig", "3"],
+                        ["stream", "gzipish"], ["db", "reclassify", "r000001"]):
+            args = build_parser().parse_args(command + ["--std-th", "0.02"])
+            assert args.std_th == 0.02
+
+    def test_thresholds_change_classification(self, capsys):
+        code, strict = run_cli(capsys, "--scale", "0.03", "profile", "vortexish",
+                               "--std-th", "0.9", "--pam-th", "1.0")
+        assert code == 0
+        # Impossible thresholds: STD can't exceed 0.5 and PAM can't exceed 1,
+        # and the PAM test is conjunctive, so nothing may be flagged.
+        assert "predicted input-dependent (0)" in strict
+
+    def test_stream_keep_series_flag(self):
+        args = build_parser().parse_args(["stream", "gzipish", "--keep-series"])
+        assert args.keep_series
+
+    def test_serve_warehouse_dir_flag(self):
+        args = build_parser().parse_args(["serve", "--warehouse-dir", "/tmp/x"])
+        assert args.warehouse_dir == "/tmp/x"
+        assert build_parser().parse_args(["serve"]).warehouse_dir is None
+
+
+class TestDbCommands:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        return str(tmp_path / "wh")
+
+    def _ingest(self, capsys, store):
+        return run_cli(capsys, "--scale", "0.03", "db", "ingest", "vortexish",
+                       "--inputs", "train", "ref", "--store", store)
+
+    def test_ingest_query_diff_reclassify(self, capsys, store):
+        code, out = self._ingest(capsys, store)
+        assert code == 0
+        lines = [line for line in out.splitlines() if line.startswith("r")]
+        assert len(lines) == 2
+        train_id, ref_id = (line.split(":")[0] for line in lines)
+
+        code, out = run_cli(capsys, "db", "query", "--store", store)
+        assert code == 0
+        assert train_id in out and "2 run(s)" in out
+
+        code, out = run_cli(capsys, "db", "query", train_id, "--store", store)
+        assert code == 0
+        assert "profiled branches" in out and '"std_th": 0.04' in out
+
+        code, diff_out = run_cli(capsys, "db", "diff", train_id, ref_id,
+                                 "--store", store)
+        assert code == 0
+        assert "input-dependent (" in diff_out and "dependent fraction:" in diff_out
+
+        code, out = run_cli(capsys, "db", "reclassify", train_id,
+                            "--std-th", "0.9", "--pam-th", "1.0", "--store", store)
+        assert code == 0
+        assert "input-dependent (0):" in out
+
+        # diff straight from the store matches the live pipeline's labels.
+        from repro.core.experiment import ExperimentRunner, SuiteConfig
+
+        truth = ExperimentRunner(SuiteConfig(scale=0.03)).ground_truth(
+            "vortexish", "gshare")
+        expected = " ".join(map(str, sorted(truth.dependent)))
+        assert f"input-dependent ({len(truth.dependent)}): {expected}" in diff_out
+
+    def test_ingest_is_idempotent(self, capsys, store):
+        _code, first = self._ingest(capsys, store)
+        _code, second = self._ingest(capsys, store)
+        assert first == second  # dedupe returns the same run ids
+
+    def test_site_series_output(self, capsys, store):
+        self._ingest(capsys, store)
+        code, out = run_cli(capsys, "db", "query", "r000001", "--site", "0",
+                            "--store", store)
+        assert code == 0
+        assert all(len(line.split()) == 2 for line in out.splitlines() if line)
+
+    def test_compact_and_gc(self, capsys, store):
+        self._ingest(capsys, store)
+        code, out = run_cli(capsys, "db", "compact", "--store", store)
+        assert code == 0
+        assert "2 -> 1 segment(s)" in out
+        code, out = run_cli(capsys, "db", "gc", "--store", store)
+        assert code == 0
+        assert "gc:" in out
+        code, out = run_cli(capsys, "db", "query", "--store", store)
+        assert code == 0
+        assert "2 run(s), 1 segment(s)" in out
+
+    def test_join_runs(self, capsys, store):
+        self._ingest(capsys, store)
+        code, out = run_cli(capsys, "db", "join", "r000001", "r000002",
+                            "--store", store)
+        assert code == 0
+        assert "shared branches" in out
+
+    def test_missing_store_is_a_clean_error(self, capsys, tmp_path):
+        code = main(["db", "query", "--store", str(tmp_path / "nope")])
+        assert code == 1

@@ -433,3 +433,84 @@ class TestEndToEnd:
                 assert client.stats()["frames_rejected"] == 1
         finally:
             server.drain()
+
+
+# ----------------------------------------------------------------------
+# Warehouse finalization on close
+# ----------------------------------------------------------------------
+
+
+class TestWarehouseFinalize:
+    def _keep_series(self, config):
+        import dataclasses
+
+        return dataclasses.replace(config, keep_series=True)
+
+    def test_close_ingests_tagged_session(self, tmp_path, stream_data):
+        from repro.store import ProfileWarehouse
+
+        trace, sim, config, _offline = stream_data
+        server = _start_server(tmp_path, warehouse_dir=tmp_path / "wh")
+        try:
+            with StreamingClient("127.0.0.1", server.port) as client:
+                stream_simulation(
+                    client, "run", trace.sites, sim.correct,
+                    self._keep_series(config), num_sites=trace.num_sites,
+                    meta={"workload": "synthetic", "input": "train",
+                          "predictor": "bimodal", "scale": 1.0},
+                )
+                reply = client.close_session("run")
+            run_id = reply["warehouse_run"]
+            assert run_id is not None
+        finally:
+            server.drain()
+        warehouse = ProfileWarehouse(tmp_path / "wh", create=False)
+        record = warehouse.manifest().runs[run_id]
+        assert (record.workload, record.input, record.predictor) == (
+            "synthetic", "train", "bimodal")
+        assert record.source == "service" and not record.has_counts
+        # The stored matrix classifies exactly like the live session did.
+        from repro.store import reclassify
+
+        run = warehouse.open_run(run_id)
+        clone = profile_trace(trace, simulation=sim, config=self._keep_series(config))
+        assert reclassify(run)["input_dependent"] == sorted(
+            clone.input_dependent_sites())
+
+    def test_close_without_series_skips_ingest(self, tmp_path, stream_data):
+        from repro.store import ProfileWarehouse
+
+        trace, sim, config, _offline = stream_data
+        server = _start_server(tmp_path, warehouse_dir=tmp_path / "wh")
+        try:
+            with StreamingClient("127.0.0.1", server.port) as client:
+                stream_simulation(client, "run", trace.sites, sim.correct,
+                                  config, num_sites=trace.num_sites)
+                reply = client.close_session("run")
+            assert reply["warehouse_run"] is None
+        finally:
+            server.drain()
+        assert ProfileWarehouse(tmp_path / "wh").runs() == []
+
+    def test_close_without_warehouse_unchanged(self, tmp_path, stream_data):
+        trace, sim, config, _offline = stream_data
+        server = _start_server(tmp_path)
+        try:
+            with StreamingClient("127.0.0.1", server.port) as client:
+                stream_simulation(client, "run", trace.sites, sim.correct,
+                                  self._keep_series(config),
+                                  num_sites=trace.num_sites)
+                assert client.close_session("run")["warehouse_run"] is None
+        finally:
+            server.drain()
+
+    def test_bad_meta_rejected_at_open(self, tmp_path, stream_data):
+        trace, _sim, config, _offline = stream_data
+        server = _start_server(tmp_path)
+        try:
+            with StreamingClient("127.0.0.1", server.port) as client:
+                with pytest.raises(ServiceError, match="meta"):
+                    client.open_session("run", trace.num_sites, config,
+                                        meta={"workload": ["not", "scalar"]})
+        finally:
+            server.drain()

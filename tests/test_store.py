@@ -1,0 +1,330 @@
+"""Tests for the profile warehouse (ingest, queries, maintenance).
+
+The acceptance bar for the query engine is *bit-identity* with the live
+pipeline: ``diff_runs`` must reproduce :func:`repro.core.groundtruth.ground_truth`
+labels exactly (no trace replay), and ``reclassify`` must match a fresh
+:func:`repro.core.profiler2d.profile_trace` classification under the same
+thresholds — pinned here with a Hypothesis property over the threshold
+space.  The zero-copy contract (queries read memmap views, never whole
+segment files) is asserted directly on the returned arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.experiment import ExperimentRunner, SuiteConfig
+from repro.core.profiler2d import ProfilerConfig, profile_trace
+from repro.core.stats import TestThresholds
+from repro.errors import StoreError
+from repro.store import ProfileWarehouse, diff_runs, join_runs, reclassify
+
+SCALE = 0.05
+WORKLOAD = "gzipish"
+KEEP = ProfilerConfig(keep_series=True)
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("cache")
+    return ExperimentRunner(SuiteConfig(scale=SCALE, cache_dir=cache))
+
+
+@pytest.fixture(scope="module")
+def artifacts(runner):
+    """(report, sim) per input, profiled with the raw series retained."""
+    out = {}
+    for input_name in ("train", "ref"):
+        report = runner.profile_2d(WORKLOAD, "gshare", input_name=input_name,
+                                   config=KEEP)
+        sim = runner.simulation(WORKLOAD, input_name, "gshare")
+        out[input_name] = (report, sim)
+    return out
+
+
+@pytest.fixture()
+def warehouse(tmp_path):
+    return ProfileWarehouse(tmp_path / "wh")
+
+
+def _ingest(warehouse, artifacts, input_name, **kwargs):
+    report, sim = artifacts[input_name]
+    kwargs.setdefault("sim", sim)
+    return warehouse.ingest(report, workload=WORKLOAD, input_name=input_name,
+                            predictor="gshare", scale=SCALE, **kwargs)
+
+
+@pytest.fixture()
+def stocked(warehouse, artifacts):
+    """A warehouse holding the train and ref runs; returns (wh, ids)."""
+    ids = {name: _ingest(warehouse, artifacts, name) for name in ("train", "ref")}
+    return warehouse, ids
+
+
+# ----------------------------------------------------------------------
+# Ingest and catalog
+# ----------------------------------------------------------------------
+
+
+class TestIngest:
+    def test_catalog_lists_committed_runs(self, stocked):
+        warehouse, ids = stocked
+        records = warehouse.runs()
+        assert [rec.run_id for rec in records] == sorted(ids.values())
+        by_input = {rec.input: rec for rec in records}
+        assert set(by_input) == {"train", "ref"}
+        assert all(rec.workload == WORKLOAD for rec in records)
+        assert all(rec.has_counts for rec in records)
+
+    def test_stats_counts_everything(self, stocked):
+        warehouse, _ids = stocked
+        stats = warehouse.stats()
+        assert stats["runs"] == 2
+        assert stats["segments"] == 2
+        assert stats["entries"] > 0
+        assert stats["bytes"] > 0
+        assert stats["corrupt_runs"] == 0
+
+    def test_dedupe_returns_existing_run(self, stocked, artifacts):
+        warehouse, ids = stocked
+        again = _ingest(warehouse, artifacts, "train")
+        assert again == ids["train"]
+        assert len(warehouse.runs()) == 2
+
+    def test_dedupe_off_appends(self, stocked, artifacts):
+        warehouse, ids = stocked
+        fresh = _ingest(warehouse, artifacts, "train", dedupe=False)
+        assert fresh != ids["train"]
+        assert len(warehouse.runs()) == 3
+
+    def test_ingest_requires_series(self, warehouse, runner):
+        report = runner.profile_2d(WORKLOAD, "gshare")  # keep_series off
+        with pytest.raises(StoreError, match="keep_series"):
+            warehouse.ingest(report, workload=WORKLOAD, input_name="train",
+                             predictor="gshare")
+
+    def test_find_honors_key_and_scale(self, stocked):
+        warehouse, ids = stocked
+        hit = warehouse.find(WORKLOAD, "train", "gshare", scale=SCALE)
+        assert hit is not None and hit.run_id == ids["train"]
+        assert warehouse.find(WORKLOAD, "train", "gshare", scale=0.9) is None
+        assert warehouse.find(WORKLOAD, "train", "perceptron") is None
+
+    def test_open_unknown_run(self, warehouse):
+        with pytest.raises(StoreError, match="unknown run"):
+            warehouse.open_run("r999999")
+
+
+# ----------------------------------------------------------------------
+# Columnar reads
+# ----------------------------------------------------------------------
+
+
+class TestReads:
+    def test_site_series_matches_report(self, stocked, artifacts):
+        warehouse, ids = stocked
+        report, _sim = artifacts["train"]
+        run = warehouse.open_run(ids["train"])
+        for site in sorted(run.profiled_sites()):
+            column = report.series[:, site]
+            mask = ~np.isnan(column)
+            slices, acc = run.site_series(site)
+            np.testing.assert_array_equal(np.asarray(slices), np.nonzero(mask)[0])
+            np.testing.assert_array_equal(np.asarray(acc), column[mask])
+
+    def test_site_series_is_memmap_view(self, stocked):
+        """The zero-copy guarantee: queries return views into the mapped
+        segment file, not materialized copies of it."""
+        warehouse, ids = stocked
+        run = warehouse.open_run(ids["train"])
+        site = min(run.profiled_sites())
+        slices, acc = run.site_series(site)
+        for view in (slices, acc):
+            assert isinstance(view, np.memmap) or isinstance(view.base, np.memmap)
+
+    def test_site_series_out_of_range(self, stocked):
+        warehouse, ids = stocked
+        run = warehouse.open_run(ids["train"])
+        with pytest.raises(StoreError, match="out of range"):
+            run.site_series(run.num_sites)
+
+    def test_slice_overall_roundtrip(self, stocked, artifacts):
+        warehouse, ids = stocked
+        report, _sim = artifacts["train"]
+        run = warehouse.open_run(ids["train"])
+        np.testing.assert_array_equal(np.asarray(run.slice_overall()),
+                                      report.slice_overall)
+
+    def test_counts_roundtrip(self, stocked, artifacts):
+        warehouse, ids = stocked
+        _report, sim = artifacts["train"]
+        run = warehouse.open_run(ids["train"])
+        exec_counts, correct_counts = run.counts()
+        np.testing.assert_array_equal(np.asarray(exec_counts), sim.exec_counts)
+        np.testing.assert_array_equal(np.asarray(correct_counts), sim.correct_counts)
+        assert run.as_simulation().site_accuracies() == sim.site_accuracies()
+
+    def test_run_without_counts(self, warehouse, artifacts):
+        run_id = _ingest(warehouse, artifacts, "train", sim=None)
+        run = warehouse.open_run(run_id)
+        assert not run.record.has_counts
+        with pytest.raises(StoreError, match="without per-site counts"):
+            run.counts()
+        # Time-series and reclassification still work without counts.
+        assert run.profiled_sites()
+        assert reclassify(run)["profiled"]
+
+    def test_overall_accuracy_bit_exact(self, stocked, artifacts):
+        warehouse, ids = stocked
+        report, _sim = artifacts["train"]
+        assert warehouse.open_run(ids["train"]).overall_accuracy == report.overall_accuracy
+
+
+# ----------------------------------------------------------------------
+# Query engine vs. the live pipeline (bit-identity)
+# ----------------------------------------------------------------------
+
+
+class TestQueries:
+    def test_reclassify_defaults_match_original_run(self, stocked, artifacts):
+        warehouse, ids = stocked
+        report, _sim = artifacts["train"]
+        result = reclassify(warehouse.open_run(ids["train"]))
+        assert result["input_dependent"] == sorted(report.input_dependent_sites())
+        assert result["profiled"] == sorted(report.profiled_sites())
+
+    def test_diff_matches_ground_truth_bit_identically(self, stocked, runner):
+        """The acceptance criterion: ``db diff`` labels == the live
+        pipeline's ground truth, with zero trace replay."""
+        warehouse, ids = stocked
+        truth = diff_runs(warehouse.open_run(ids["train"]),
+                          [warehouse.open_run(ids["ref"])])
+        live = runner.ground_truth(WORKLOAD, "gshare")
+        assert truth.dependent == live.dependent
+        assert truth.independent == live.independent
+        assert truth.universe == live.universe
+        assert truth.dependent_fraction == live.dependent_fraction
+
+    def test_diff_threshold_passthrough(self, stocked):
+        warehouse, ids = stocked
+        train = warehouse.open_run(ids["train"])
+        ref = warehouse.open_run(ids["ref"])
+        loose = diff_runs(train, [ref], threshold=0.0)
+        strict = diff_runs(train, [ref], threshold=0.5)
+        assert strict.dependent <= loose.dependent
+        assert strict.universe == loose.universe
+
+    def test_diff_requires_other_runs(self, stocked):
+        warehouse, ids = stocked
+        with pytest.raises(StoreError, match="at least one"):
+            diff_runs(warehouse.open_run(ids["train"]), [])
+
+    def test_join_is_symmetric_on_agreement(self, stocked):
+        warehouse, ids = stocked
+        a = warehouse.open_run(ids["train"])
+        b = warehouse.open_run(ids["ref"])
+        rows = join_runs(a, b)
+        assert rows, "train and ref share profiled branches"
+        sites = [row["site"] for row in rows]
+        assert sites == sorted(sites)
+        flipped = {row["site"]: row for row in join_runs(b, a)}
+        for row in rows:
+            assert flipped[row["site"]]["agree"] == row["agree"]
+
+
+@pytest.fixture(scope="module")
+def module_store(tmp_path_factory, artifacts):
+    """A module-lifetime store for the Hypothesis property (one ingest)."""
+    warehouse = ProfileWarehouse(tmp_path_factory.mktemp("wh-prop"))
+    report, sim = artifacts["train"]
+    run_id = warehouse.ingest(report, workload=WORKLOAD, input_name="train",
+                              predictor="gshare", scale=SCALE, sim=sim)
+    return warehouse, run_id
+
+
+class TestReclassifyProperty:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(std_th=st.floats(0.0, 0.2, allow_nan=False),
+           pam_th=st.floats(0.0, 1.0, allow_nan=False))
+    def test_reclassify_bit_identical_to_fresh_profile(
+            self, runner, module_store, std_th, pam_th):
+        """For any (std_th, pam_th), reclassifying the stored matrix gives
+        exactly the classification of a fresh ``profile_trace`` run."""
+        warehouse, run_id = module_store
+        stored = reclassify(warehouse.open_run(run_id),
+                            std_th=std_th, pam_th=pam_th)
+        config = ProfilerConfig(
+            thresholds=TestThresholds(std_th=std_th, pam_th=pam_th))
+        fresh = profile_trace(
+            runner.trace(WORKLOAD, "train"),
+            simulation=runner.simulation(WORKLOAD, "train", "gshare"),
+            config=config,
+        )
+        assert stored["input_dependent"] == sorted(fresh.input_dependent_sites())
+        assert stored["profiled"] == sorted(fresh.profiled_sites())
+
+
+# ----------------------------------------------------------------------
+# Maintenance: compaction and gc
+# ----------------------------------------------------------------------
+
+
+class TestMaintenance:
+    def test_compact_preserves_every_query(self, stocked, runner):
+        warehouse, ids = stocked
+        before = reclassify(warehouse.open_run(ids["train"]))
+        truth_before = diff_runs(warehouse.open_run(ids["train"]),
+                                 [warehouse.open_run(ids["ref"])])
+
+        stats = warehouse.compact()
+        assert stats.runs_rewritten == 2
+        assert stats.segments_after == 1
+        assert warehouse.stats()["segments"] == 1
+        assert warehouse.check() == []
+
+        after = reclassify(warehouse.open_run(ids["train"]))
+        truth_after = diff_runs(warehouse.open_run(ids["train"]),
+                                [warehouse.open_run(ids["ref"])])
+        assert after["input_dependent"] == before["input_dependent"]
+        assert truth_after.dependent == truth_before.dependent
+        # Superseded segment directories are gone (compact or gc removes them).
+        warehouse.gc()
+        dirs = [p for p in warehouse.segments_root.iterdir() if p.is_dir()]
+        assert len(dirs) == 1
+
+    def test_compact_empty_store(self, warehouse):
+        stats = warehouse.compact()
+        assert stats.runs_rewritten == 0
+
+    def test_gc_sweeps_garbage_only(self, stocked):
+        warehouse, ids = stocked
+        orphan = warehouse.segments_root / "seg-dead"
+        orphan.mkdir()
+        (orphan / "acc.npy").write_bytes(b"partial")
+        litter = warehouse.segments_root / ("x.npy.123" + ".tmp")
+        litter.write_bytes(b"partial")
+
+        stats = warehouse.gc()
+        assert stats.segments_removed == 1
+        assert stats.tmp_files_removed == 1
+        assert not orphan.exists() and not litter.exists()
+        # Committed data untouched.
+        assert len(warehouse.runs()) == 2
+        assert warehouse.open_run(ids["train"]).profiled_sites()
+
+    def test_gc_purge_corrupt_drops_damaged_runs(self, stocked):
+        warehouse, ids = stocked
+        record = warehouse.manifest().runs[ids["ref"]]
+        acc = warehouse.segments_root / record.segment / "acc.npy"
+        acc.write_bytes(acc.read_bytes()[:16])
+        assert warehouse.check() == [ids["ref"]]
+
+        stats = warehouse.gc(purge_corrupt=True)
+        assert stats.runs_purged == 1
+        assert stats.segments_removed == 1
+        assert [rec.run_id for rec in warehouse.runs()] == [ids["train"]]
+        assert warehouse.check() == []
