@@ -46,6 +46,21 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 
 _BENCH_RECORDS: list[dict] = []
 
+_BENCH_EXTRAS: dict[str, dict] = {}
+
+
+@pytest.fixture()
+def bench_extras(request):
+    """Mutable dict merged into this bench's BENCH_summary.json record.
+
+    Benches drop machine-readable payloads here (per-kind speedups,
+    throughput numbers) so the per-PR snapshots carry more than wall
+    time.
+    """
+    data: dict = {}
+    _BENCH_EXTRAS[request.node.name] = data
+    return data
+
 
 def _cache_counts() -> dict[str, int]:
     registry = get_registry()
@@ -63,12 +78,16 @@ def pytest_runtest_call(item):
     yield
     elapsed = time.perf_counter() - start
     after = _cache_counts()
-    _BENCH_RECORDS.append({
+    record = {
         "bench": item.name,
         "file": item.location[0],
         "wall_seconds": round(elapsed, 6),
         "cache": {k: after[k] - before[k] for k in after},
-    })
+    }
+    extras = _BENCH_EXTRAS.pop(item.name, None)
+    if extras:
+        record["extras"] = extras
+    _BENCH_RECORDS.append(record)
 
 
 def pytest_sessionfinish(session, exitstatus):

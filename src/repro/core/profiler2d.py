@@ -211,6 +211,31 @@ class TwoDReport:
         return np.nonzero(valid)[0], column[valid]
 
 
+def _slice_counts(
+    sites: np.ndarray, weights: np.ndarray, slice_size: int, num_sites: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-(slice, site) execution and weighted-correct sums in one pass.
+
+    Flattens the ``(slice index, site)`` pair into a single bincount key,
+    pricing every slice of the span at once instead of one bincount per
+    slice.  ``bincount`` accumulates in array order, so each bin's float
+    sum adds the same 0/1 values in the same order a per-slice bincount
+    would — and 0/1 sums are exact integers in float64 regardless — so
+    the result is bit-identical to the slice-at-a-time fold.  The last
+    slice may be shorter than ``slice_size``.
+    """
+    n = int(sites.size)
+    n_slices = (n + slice_size - 1) // slice_size
+    slice_ids = np.arange(n, dtype=np.int64) // slice_size
+    flat = slice_ids * num_sites + sites.astype(np.int64)
+    length = n_slices * num_sites
+    exec_matrix = np.bincount(flat, minlength=length).reshape(n_slices, num_sites)
+    weight_matrix = np.bincount(
+        flat, weights=weights, minlength=length
+    ).reshape(n_slices, num_sites)
+    return exec_matrix, weight_matrix
+
+
 #: On-disk / over-the-wire profiler-state format version (see
 #: :meth:`TwoDProfiler.state_dict`).  Bump on any layout change.
 PROFILER_STATE_VERSION = 1
@@ -292,11 +317,13 @@ class TwoDProfiler:
         """Fold a batch of dynamic branches, bit-identical to a record() loop.
 
         ``sites[i]`` is the static site id of the *i*-th branch in the
-        batch and ``correct[i]`` is 1 if its prediction was right.  The
-        batch is split at slice boundaries and each segment is folded with
-        vectorized bincounts; because the per-slice arithmetic is the same
-        float operations in the same order, the end state is exactly what
-        the one-event-at-a-time path produces.
+        batch and ``correct[i]`` is 1 if its prediction was right.  Any
+        span of whole slices inside the batch is priced with a single
+        flattened ``(slice, site)`` bincount (see :func:`_slice_counts`);
+        partial slices at the batch edges accumulate as before.  Because
+        the per-slice arithmetic is the same float operations in the same
+        order — and the per-bin integer sums are grouping-invariant — the
+        end state is exactly what the one-event-at-a-time path produces.
         """
         sites = np.asarray(sites)
         correct = np.asarray(correct)
@@ -310,6 +337,27 @@ class TwoDProfiler:
         correct_int = correct.astype(np.int64)
         pos = 0
         while pos < n:
+            whole = (n - pos) // self._slice_size
+            if self._in_slice == 0 and whole:
+                # Aligned on a slice boundary with >= 1 whole slice left:
+                # price them all in one shot.
+                take = whole * self._slice_size
+                exec_matrix, pred_matrix = _slice_counts(
+                    sites[pos:pos + take], correct_int[pos:pos + take],
+                    self._slice_size, self.num_sites,
+                )
+                pred_matrix = pred_matrix.astype(np.int64)
+                per_slice_correct = pred_matrix.sum(axis=1)
+                for row in range(whole):
+                    n_correct = int(per_slice_correct[row])
+                    self.total_correct += n_correct
+                    self.total_branches += self._slice_size
+                    self._fold_slice(
+                        exec_matrix[row], pred_matrix[row],
+                        self._slice_size, n_correct,
+                    )
+                pos += take
+                continue
             take = min(self._slice_size - self._in_slice, n - pos)
             chunk = sites[pos:pos + take]
             chunk_correct = correct_int[pos:pos + take]
@@ -327,33 +375,44 @@ class TwoDProfiler:
                 self._end_slice()
 
     def _end_slice(self) -> None:
-        qualified = self._exec > self._exec_threshold
+        self._fold_slice(self._exec, self._pred, self._in_slice, self._slice_correct)
+        self._exec[:] = 0
+        self._pred[:] = 0
+        self._in_slice = 0
+        self._slice_correct = 0
+
+    def _fold_slice(
+        self,
+        exec_counts: np.ndarray,
+        pred_counts: np.ndarray,
+        slice_len: int,
+        slice_correct: int,
+    ) -> None:
+        """The Figure 9b slice update over one slice's per-site counts."""
+        qualified = exec_counts > self._exec_threshold
         any_qualified = bool(qualified.any())
         if self._series_rows is not None:
             row = np.full(self.num_sites, np.nan)
             if any_qualified:
-                row[qualified] = self._pred[qualified] / self._exec[qualified]
+                row[qualified] = pred_counts[qualified] / exec_counts[qualified]
             self._series_rows.append(row)
-        self._slice_overall.append(self._slice_correct / self._in_slice if self._in_slice else 0.0)
-        self._slice_correct = 0
-        if any_qualified:
-            accuracy = self._pred[qualified] / self._exec[qualified]
-            if self._use_fir:
-                filtered = np.where(
-                    self._has_lpa[qualified], (accuracy + self._LPA[qualified]) / 2.0, accuracy
-                )
-            else:
-                filtered = accuracy
-            self._has_lpa[qualified] = True
-            self._N[qualified] += 1
-            self._SPA[qualified] += filtered
-            self._SSPA[qualified] += filtered * filtered
-            running_mean = self._SPA[qualified] / self._N[qualified]
-            self._NPAM[qualified] += (filtered > running_mean + PAM_EPSILON).astype(np.int64)
-            self._LPA[qualified] = filtered
-        self._exec[:] = 0
-        self._pred[:] = 0
-        self._in_slice = 0
+        self._slice_overall.append(slice_correct / slice_len if slice_len else 0.0)
+        if not any_qualified:
+            return
+        accuracy = pred_counts[qualified] / exec_counts[qualified]
+        if self._use_fir:
+            filtered = np.where(
+                self._has_lpa[qualified], (accuracy + self._LPA[qualified]) / 2.0, accuracy
+            )
+        else:
+            filtered = accuracy
+        self._has_lpa[qualified] = True
+        self._N[qualified] += 1
+        self._SPA[qualified] += filtered
+        self._SSPA[qualified] += filtered * filtered
+        running_mean = self._SPA[qualified] / self._N[qualified]
+        self._NPAM[qualified] += (filtered > running_mean + PAM_EPSILON).astype(np.int64)
+        self._LPA[qualified] = filtered
 
     # ------------------------------------------------------------------
     # Serialization (checkpoint/resume)
@@ -534,17 +593,24 @@ def profile_trace(
     series_rows: list[np.ndarray] | None = [] if config.keep_series else None
     slice_overall: list[float] = []
 
-    for start, stop in full_slices:
-        chunk_sites = sites[start:stop]
-        chunk_correct = correct[start:stop]
-        exec_counts = np.bincount(chunk_sites, minlength=num_sites)
-        correct_counts = np.bincount(chunk_sites, weights=chunk_correct, minlength=num_sites)
+    # Price every slice at once with a flattened (slice, site) bincount;
+    # per-slice fold arithmetic below is unchanged, so results stay
+    # bit-identical to the slice-at-a-time loop.
+    limit = full_slices[-1][1] if full_slices else 0
+    if limit:
+        exec_matrix, correct_matrix = _slice_counts(
+            sites[:limit], correct[:limit], slice_size, num_sites
+        )
+    for row_index, (start, stop) in enumerate(full_slices):
+        chunk_correct_sum = float(correct_matrix[row_index].sum())
+        exec_counts = exec_matrix[row_index]
+        correct_counts = correct_matrix[row_index]
         qualified = exec_counts > exec_threshold
         if series_rows is not None:
             row = np.full(num_sites, np.nan)
             row[qualified] = correct_counts[qualified] / exec_counts[qualified]
             series_rows.append(row)
-        slice_overall.append(float(chunk_correct.sum()) / (stop - start))
+        slice_overall.append(chunk_correct_sum / (stop - start))
         if not qualified.any():
             continue
         accuracy = correct_counts[qualified] / exec_counts[qualified]

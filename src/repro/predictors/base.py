@@ -33,6 +33,17 @@ class Predictor(ABC):
         """Human-readable configuration string."""
         return self.name
 
+    def state_dict(self) -> dict:
+        """A canonical snapshot of the mutable predictor state.
+
+        Values are copies (plain ints, lists, numpy arrays) so two
+        snapshots can be compared for exact equality — the differential
+        harness uses this to pin the reference and vectorized replay
+        paths to the same end-of-run state.  Stateless predictors return
+        an empty dict.
+        """
+        return {}
+
 
 def saturating_update(counter: int, taken: int, maximum: int = 3) -> int:
     """Advance a saturating counter toward ``taken`` within [0, maximum]."""

@@ -35,5 +35,8 @@ class Bimodal(Predictor):
     def reset(self) -> None:
         self.table = [2] * self.size
 
+    def state_dict(self) -> dict:
+        return {"table": list(self.table)}
+
     def describe(self) -> str:
         return f"bimodal, {self.size} 2-bit counters ({self.size // 4} bytes)"

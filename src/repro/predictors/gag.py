@@ -39,5 +39,8 @@ class GAg(Predictor):
         self.table = [2] * self.size
         self.history = 0
 
+    def state_dict(self) -> dict:
+        return {"table": list(self.table), "history": self.history}
+
     def describe(self) -> str:
         return f"GAg, {self.history_bits}-bit global history, {self.size} 2-bit counters"

@@ -43,6 +43,9 @@ class Gshare(Predictor):
         self.table = [2] * self.size
         self.history = 0
 
+    def state_dict(self) -> dict:
+        return {"table": list(self.table), "history": self.history}
+
     def describe(self) -> str:
         bytes_ = self.size // 4
         return f"gshare, {self.history_bits}-bit history, {self.size} 2-bit counters ({bytes_} bytes)"

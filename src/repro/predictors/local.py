@@ -45,6 +45,9 @@ class LocalTwoLevel(Predictor):
         self.histories = [0] * self.num_histories
         self.table = [2] * self.pattern_size
 
+    def state_dict(self) -> dict:
+        return {"histories": list(self.histories), "table": list(self.table)}
+
     def describe(self) -> str:
         return (
             f"local 2-level, {self.num_histories} history registers x "

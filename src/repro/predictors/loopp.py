@@ -61,5 +61,10 @@ class LoopPredictor(Predictor):
     def reset(self) -> None:
         self.entries = [_LoopEntry() for _ in range(self.num_entries)]
 
+    def state_dict(self) -> dict:
+        return {
+            "entries": [(e.trip, e.confidence, e.count) for e in self.entries],
+        }
+
     def describe(self) -> str:
         return f"loop predictor, {self.num_entries} entries, confidence >= {self.confidence_threshold}"

@@ -52,6 +52,9 @@ class Perceptron(Predictor):
         self.weights.fill(0)
         self.history.fill(1)
 
+    def state_dict(self) -> dict:
+        return {"weights": self.weights.copy(), "history": self.history.copy()}
+
     def describe(self) -> str:
         bytes_ = self.num_entries * (self.history_bits + 1)
         return (

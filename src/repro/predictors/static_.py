@@ -53,6 +53,9 @@ class ProfileStatic(Predictor):
     def reset(self) -> None:
         pass
 
+    def state_dict(self) -> dict:
+        return {"directions": dict(self.directions), "fallback": self.fallback}
+
     @classmethod
     def from_bias(cls, biases: dict[int, float]) -> "ProfileStatic":
         """Build from per-site taken rates (majority vote per site)."""

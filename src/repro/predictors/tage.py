@@ -95,6 +95,17 @@ class Tage(Predictor):
             _FoldedHistory(length, self.tag_bits) for length in self.history_lengths
         ]
 
+    def state_dict(self) -> dict:
+        return {
+            "counters": [list(t) for t in self.counters],
+            "tags": [list(t) for t in self.tags],
+            "useful": [list(t) for t in self.useful],
+            "base": list(self.base),
+            "history": self.history,
+            "folded_index": [f.folded for f in self.folded_index],
+            "folded_tag": [f.folded for f in self.folded_tag],
+        }
+
     # ------------------------------------------------------------------
 
     def _index(self, table: int, site_id: int) -> int:

@@ -45,6 +45,13 @@ class Tournament(Predictor):
         self.simple_component.reset()
         self.chooser = [2] * self.chooser_size
 
+    def state_dict(self) -> dict:
+        return {
+            "global": self.global_component.state_dict(),
+            "simple": self.simple_component.state_dict(),
+            "chooser": list(self.chooser),
+        }
+
     def describe(self) -> str:
         return (
             f"tournament: {self.global_component.describe()} vs "

@@ -1,5 +1,6 @@
-"""Additional property-based tests: edge profiling, phase classifier, and
-the cost simulator's arithmetic identities."""
+"""Additional property-based tests: edge profiling, phase classifier, the
+cost simulator's arithmetic identities, and the vectorized-replay kernels
+(scan/packing primitives checked against naive sequential replays)."""
 
 
 import numpy as np
@@ -11,7 +12,15 @@ from repro.core.edge2d import Edge2DProfiler
 from repro.core.predication import AdvisorDecision, PredicationCosts
 from repro.core.profiler2d import ProfilerConfig
 from repro.core.timing import evaluate_policy
+from repro.predictors import Perceptron, simulate_reference
 from repro.predictors.simulate import SimulationResult
+from repro.predictors.vectorized import (
+    _final_history,
+    counter_scan,
+    gshare_history,
+    segmented_history,
+    try_simulate_vectorized,
+)
 from repro.trace.trace import BranchTrace
 
 # ----------------------------------------------------------------------
@@ -155,3 +164,134 @@ def test_wish_bounded_by_per_execution_envelope(data):
         lower += min(branch_cost, costs.exec_predicated)
         upper += max(branch_cost, costs.exec_predicated)
     assert lower - 1e-6 <= wish.total_cycles <= upper + 1e-6
+
+# ----------------------------------------------------------------------
+# Vectorized replay kernels
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def interleaved_counter_streams(draw):
+    """Per-entry outcome queues riffled into one stream in a drawn order.
+
+    The riffle preserves each entry's subsequence order, so any two draws
+    with the same queues describe the *same* per-entry computation — which
+    is exactly the invariance the segmented scan relies on.
+    """
+    num_entries = draw(st.integers(1, 6))
+    queues = [
+        draw(st.lists(st.integers(0, 1), max_size=40)) for _ in range(num_entries)
+    ]
+    initial = np.array(
+        draw(st.lists(st.integers(0, 3), min_size=num_entries, max_size=num_entries)),
+        dtype=np.uint8,
+    )
+    ids = [entry for entry, queue in enumerate(queues) for _ in queue]
+    order = draw(st.permutations(ids))
+    cursors = [0] * num_entries
+    indices, outcomes = [], []
+    for entry in order:
+        indices.append(entry)
+        outcomes.append(queues[entry][cursors[entry]])
+        cursors[entry] += 1
+    return (
+        np.array(indices, dtype=np.int64),
+        np.array(outcomes, dtype=np.uint8),
+        initial,
+        queues,
+    )
+
+
+def _naive_counter_replay(indices, outcomes, initial):
+    table = initial.astype(np.int64).copy()
+    before = np.empty(indices.size, dtype=np.uint8)
+    for i, (entry, taken) in enumerate(zip(indices.tolist(), outcomes.tolist())):
+        before[i] = table[entry]
+        if taken:
+            table[entry] = min(3, table[entry] + 1)
+        else:
+            table[entry] = max(0, table[entry] - 1)
+    return before, table
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=interleaved_counter_streams())
+def test_counter_scan_matches_naive_and_is_riffle_invariant(data):
+    indices, outcomes, initial, queues = data
+    before, touched, finals = counter_scan(indices, outcomes, initial)
+
+    naive_before, naive_table = _naive_counter_replay(indices, outcomes, initial)
+    np.testing.assert_array_equal(before, naive_before)
+
+    # Final states are a function of each entry's own queue alone — the
+    # riffle order drawn for this example must not matter.
+    for entry, queue in enumerate(queues):
+        state = int(initial[entry])
+        for taken in queue:
+            state = min(3, state + 1) if taken else max(0, state - 1)
+        if queue:
+            assert entry in touched.tolist()
+            assert int(finals[touched.tolist().index(entry)]) == state
+        else:
+            assert entry not in touched.tolist()
+    assert len(touched) == len(set(touched.tolist()))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    outcomes=st.lists(st.integers(0, 1), max_size=80),
+    bits=st.integers(1, 12),
+    initial=st.integers(0, (1 << 12) - 1),
+)
+def test_gshare_history_matches_sequential_register(outcomes, bits, initial):
+    mask = (1 << bits) - 1
+    initial &= mask
+    arr = np.array(outcomes, dtype=np.uint8)
+    packed = gshare_history(arr, bits, mask, initial)
+
+    register = initial
+    for i, taken in enumerate(outcomes):
+        assert int(packed[i]) == register, f"branch {i}"
+        register = ((register << 1) | taken) & mask
+    assert _final_history(arr, bits, mask, initial) == register
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 1)), max_size=80
+    ),
+    bits=st.integers(1, 10),
+    seed=st.integers(0, 2**16),
+)
+def test_segmented_history_matches_per_key_registers(pairs, bits, seed):
+    mask = (1 << bits) - 1
+    rng = np.random.default_rng(seed)
+    initials = rng.integers(0, mask + 1, size=6, dtype=np.int64)
+    keys = np.array([k for k, _ in pairs], dtype=np.int64)
+    outcomes = np.array([o for _, o in pairs], dtype=np.uint8)
+
+    packed, touched, finals = segmented_history(keys, outcomes, bits, mask, initials)
+
+    registers = {key: int(initials[key]) for key in range(6)}
+    for i, (key, taken) in enumerate(pairs):
+        assert int(packed[i]) == registers[key], f"branch {i}"
+        registers[key] = ((registers[key] << 1) | taken) & mask
+    touched_list = touched.tolist()
+    assert sorted(touched_list) == sorted(set(keys.tolist()))
+    for key, final in zip(touched_list, finals.tolist()):
+        assert registers[key] == int(final)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=traces_with_sims(max_sites=5, max_len=200))
+def test_perceptron_integer_weight_replay(data):
+    trace, _sim = data
+    ref_pred = Perceptron(num_entries=3, history_bits=6)
+    vec_pred = Perceptron(num_entries=3, history_bits=6)
+    ref = simulate_reference(ref_pred, trace)
+    vec = try_simulate_vectorized(vec_pred, trace)
+    assert vec is not None
+    np.testing.assert_array_equal(ref.correct, vec.correct)
+    np.testing.assert_array_equal(ref_pred.weights, vec_pred.weights)
+    np.testing.assert_array_equal(ref_pred.history, vec_pred.history)

@@ -11,6 +11,9 @@ segment files) is asserted directly on the returned arrays.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -328,3 +331,85 @@ class TestMaintenance:
         assert stats.segments_removed == 1
         assert [rec.run_id for rec in warehouse.runs()] == [ids["train"]]
         assert warehouse.check() == []
+
+
+# ----------------------------------------------------------------------
+# Golden-fixture regression guard
+# ----------------------------------------------------------------------
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _run_db_cli(capsys, store, *argv) -> str:
+    from repro.cli import main
+
+    assert main(["db", *argv, "--store", str(store)]) == 0
+    return capsys.readouterr().out
+
+
+def _check_golden(name: str, actual: str) -> None:
+    path = GOLDEN_DIR / name
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(actual)
+        pytest.skip(f"regenerated {path}")
+    assert path.exists(), f"missing fixture {path}; run with REPRO_UPDATE_GOLDEN=1"
+    assert actual == path.read_text(), (
+        f"{name} drifted; if the change is intentional, regenerate with "
+        "REPRO_UPDATE_GOLDEN=1 and review the diff"
+    )
+
+
+class TestGoldenGuard:
+    """``db reclassify``/``db diff`` output is pinned byte for byte.
+
+    The pinned numbers were produced by the pre-vectorization pipeline,
+    so any replay or profiler fast path that shifts a classification —
+    even by one site — fails here.  The same reclassify result must also
+    match a *fresh* ``profile_trace`` of the trace, closing the loop
+    between the warehouse's stored matrices and the live pipeline.
+    """
+
+    def test_db_reclassify_matches_golden_and_fresh_profile(
+            self, stocked, artifacts, runner, capsys):
+        warehouse, ids = stocked
+        assert ids["train"] == "r000001", "golden fixture assumes ingest order"
+
+        out = _run_db_cli(capsys, warehouse.root, "reclassify", ids["train"],
+                          "--std-th", "0.08")
+        _check_golden("warehouse_reclassify_gzipish.txt", out)
+
+        report, _sim = artifacts["train"]
+        fresh = profile_trace(
+            runner.trace(WORKLOAD, "train"),
+            simulation=runner.simulation(WORKLOAD, "train", "gshare"),
+            config=ProfilerConfig(thresholds=TestThresholds(std_th=0.08)),
+        )
+        result = reclassify(warehouse.open_run(ids["train"]), std_th=0.08)
+        assert result["input_dependent"] == sorted(fresh.input_dependent_sites())
+        assert result["profiled"] == sorted(fresh.profiled_sites())
+        # And with the run's own thresholds, the stored matrix reproduces
+        # the live report's verdicts.
+        default = reclassify(warehouse.open_run(ids["train"]))
+        assert default["input_dependent"] == sorted(report.input_dependent_sites())
+
+    def test_db_diff_matches_golden(self, stocked, capsys):
+        warehouse, ids = stocked
+        out = _run_db_cli(capsys, warehouse.root, "diff",
+                          ids["train"], ids["ref"])
+        _check_golden("warehouse_diff_gzipish.txt", out)
+
+    def test_db_diff_matches_golden_vortexish(self, stocked, runner, capsys):
+        warehouse, _ids = stocked
+        ids = {}
+        for input_name in ("train", "ref"):
+            report = runner.profile_2d("vortexish", "gshare",
+                                       input_name=input_name, config=KEEP)
+            sim = runner.simulation("vortexish", input_name, "gshare")
+            ids[input_name] = warehouse.ingest(
+                report, workload="vortexish", input_name=input_name,
+                predictor="gshare", scale=SCALE, sim=sim)
+        assert ids["train"] == "r000003", "golden fixture assumes ingest order"
+        out = _run_db_cli(capsys, warehouse.root, "diff",
+                          ids["train"], ids["ref"])
+        _check_golden("warehouse_diff_vortexish.txt", out)
