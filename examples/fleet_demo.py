@@ -1,0 +1,108 @@
+"""The sharded fleet end to end: route, kill a shard, resume elsewhere.
+
+This spawns a real fleet — three ``repro-2dprof serve`` subprocesses
+behind a :class:`~repro.fleet.router.FleetRouter` — then walks the
+deployment story the fleet promises:
+
+1. stream half a workload through the router (it lands on some shard);
+2. ``kill -9`` that shard, no drain, no warning;
+3. resume *through the router*: the session lands on a different shard,
+   picks up from its last checkpoint, and the final report is
+   bit-identical to offline ``profile_trace``;
+4. rolling-restart every shard (each drains + checkpoints first) and
+   show nothing was lost;
+5. print fleet-wide stats: summed totals plus the per-shard breakdown.
+
+Run:  python examples/fleet_demo.py
+"""
+
+import tempfile
+
+from repro import (
+    ProfilerConfig,
+    compile_source,
+    capture_trace,
+    paper_gshare,
+    profile_trace,
+    simulate,
+)
+from repro.fleet import FleetHarness
+from repro.service.client import stream_simulation
+from repro.service.protocol import serialize_report
+
+from quickstart import SOURCE, make_phased_input
+
+
+def main():
+    program = compile_source(SOURCE, name="fleet-demo")
+    trace = capture_trace(program, make_phased_input())
+    sim = simulate(paper_gshare(), trace)
+    config = ProfilerConfig(target_slices=60).resolve(total_branches=len(trace))
+    print(f"captured {len(trace)} events over {program.num_sites} branch sites")
+
+    with tempfile.TemporaryDirectory() as root, \
+            FleetHarness(root, num_shards=3) as fleet:
+        print(f"fleet up: router on {fleet.host}:{fleet.port}, 3 shards")
+
+        # --- stream half the workload through the router ---------------
+        with fleet.client() as client:
+            outcome = stream_simulation(
+                client, "demo", trace.sites, sim.correct, config,
+                batch_size=4096, checkpoint_every=2,
+                stop_after=len(trace) // 2, num_sites=trace.num_sites)
+        owner = fleet.owner_of("demo")
+        print(f"paused at {outcome.events_total}/{len(trace)} events "
+              f"on shard {owner!r}")
+
+        # --- kill -9 the owning shard ----------------------------------
+        fleet.kill_shard(owner)
+        print(f"shard {owner!r} SIGKILLed — resuming through the router")
+
+        # --- resume: a different shard picks the session up ------------
+        with fleet.client() as client:
+            outcome = stream_simulation(
+                client, "demo", trace.sites, sim.correct, config,
+                batch_size=4096, resume=True, num_sites=trace.num_sites)
+            final = client.query("demo")["report"]
+        new_owner = fleet.owner_of("demo")
+        print(f"resumed from event {outcome.resumed_from} on shard "
+              f"{new_owner!r} ({outcome.events_sent} more events)")
+        assert new_owner != owner, "expected a different shard to take over"
+
+        offline = serialize_report(
+            profile_trace(trace, simulation=sim, config=config))
+        assert final == offline, "fleet report diverged from profile_trace"
+        print("verified: fleet report is bit-identical to offline profile_trace")
+
+        # --- fleet-wide stats: summed totals + per-shard breakdown -----
+        with fleet.client() as client:
+            stats = client.control({"op": "stats"})
+        fleet_totals, shards = stats["stats"], stats["shards"]
+        print(f"fleet totals: {fleet_totals['events_total']} events, "
+              f"{fleet_totals['checkpoints_written']} checkpoints")
+        for name in sorted(shards):
+            print(f"  shard {name}: {shards[name]['events_total']} events")
+
+        # --- rolling restart: drain-and-replace every live shard -------
+        fleet.restart_dead()  # first revive the one we killed
+        replaced = fleet.rolling_restart()
+        print(f"rolling restart replaced {', '.join(replaced)}")
+        with fleet.client() as client:
+            status = client.control({"op": "fleet_status"})
+            assert all(s["alive"] for s in status["shards"])
+            # Each drained shard checkpointed its sessions; resume-open
+            # finds the stream already complete and the report intact.
+            outcome = stream_simulation(
+                client, "demo", trace.sites, sim.correct, config,
+                batch_size=4096, resume=True, num_sites=trace.num_sites)
+            assert outcome.resumed_from == len(trace)
+            assert client.query("demo")["report"] == offline
+            client.close_session("demo")
+        print("rolling restart lost nothing: report still matches offline")
+
+    flagged = ", ".join(program.sites[s].label() for s in final["input_dependent"])
+    print(f"input-dependent branches: {flagged}")
+
+
+if __name__ == "__main__":
+    main()

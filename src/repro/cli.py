@@ -277,6 +277,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         checkpoint_dir=None if checkpoint_dir == "" else checkpoint_dir,
         warehouse_dir=args.warehouse_dir,
+        shard_name=args.shard_name,
+        reuse_port=args.reuseport,
         limits=ServiceLimits(
             max_sessions=args.max_sessions,
             max_batch_events=args.max_batch_events,
@@ -294,29 +296,44 @@ def _format_stat(value) -> str:
     return str(value)
 
 
+def _print_stats_table(stats: dict, indent: str = "") -> None:
+    """Render one stats payload: scalars first, then dict-valued rows."""
+    stats = dict(stats)
+    sessions = stats.pop("sessions", {})
+    nested = {k: v for k, v in stats.items() if isinstance(v, dict)}
+    scalars = {k: v for k, v in stats.items() if not isinstance(v, dict)}
+    width = max((len(k) for k in list(scalars) + list(nested)), default=0)
+    for key in sorted(scalars):
+        print(f"{indent}{key:<{width}}  {_format_stat(scalars[key])}")
+    for key in sorted(nested):
+        parts = ", ".join(
+            f"{k}={_format_stat(v) if v is not None else '-'}"
+            for k, v in nested[key].items()
+        )
+        print(f"{indent}{key:<{width}}  {parts}")
+    if sessions:
+        print(f"{indent}sessions:")
+        for name in sorted(sessions):
+            print(f"{indent}  {name}: {sessions[name]} events")
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.service.client import StreamingClient
 
     with StreamingClient(args.host, args.port) as client:
-        stats = client.stats()
+        reply = client.control({"op": "stats"})
+    stats = reply["stats"]
+    shards = reply.get("shards")
     if args.json:
-        print(json.dumps(stats, indent=2, sort_keys=True))
+        payload = {"stats": stats, "shards": shards} if shards is not None else stats
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
-    sessions = stats.pop("sessions", {})
-    latency = stats.pop("frame_latency", None)
-    width = max(len(k) for k in stats)
-    for key in sorted(stats):
-        print(f"{key:<{width}}  {_format_stat(stats[key])}")
-    if latency is not None:
-        parts = ", ".join(
-            f"{k}={_format_stat(v) if v is not None else '-'}"
-            for k, v in latency.items()
-        )
-        print(f"{'frame_latency':<{width}}  {parts}")
-    if sessions:
-        print("sessions:")
-        for name in sorted(sessions):
-            print(f"  {name}: {sessions[name]} events")
+    _print_stats_table(stats)
+    if shards:
+        # Fleet view: the summed totals above, one block per shard below.
+        for name in sorted(shards):
+            print(f"shard {name}:")
+            _print_stats_table(shards[name], indent="  ")
     return 0
 
 
@@ -389,6 +406,145 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             if run_id:
                 print(f"stored in warehouse as {run_id}")
     return code
+
+
+# ----------------------------------------------------------------------
+# Fleet subcommands
+# ----------------------------------------------------------------------
+
+
+def _merge_fleet_traces(trace_dir) -> int:
+    """Fold the shard processes' trace files into this process's tracer."""
+    from pathlib import Path
+
+    merged = 0
+    tracer = get_tracer()
+    for path in sorted(Path(trace_dir).glob("*.trace.json")):
+        try:
+            doc = json.loads(path.read_text("utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue  # a SIGKILLed shard never wrote its trace
+        events = doc.get("traceEvents", []) if isinstance(doc, dict) else doc
+        # Drop per-file process metadata; export regenerates it per pid.
+        merged += tracer.add_chrome_events(
+            e for e in events if e.get("ph") != "M")
+    return merged
+
+
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import contextlib
+    import signal
+    from pathlib import Path
+
+    from repro.fleet import FleetRouter, FleetSupervisor
+
+    fleet_dir = Path(args.fleet_dir) if args.fleet_dir else default_cache_dir() / "fleet"
+    trace_dir = fleet_dir / "traces" if args.trace else None
+    supervisor = FleetSupervisor(
+        args.shards,
+        checkpoint_dir=fleet_dir / "checkpoints",
+        warehouse_dir=args.warehouse_dir,
+        host=args.host,
+        idle_timeout=args.idle_timeout,
+        max_sessions=args.max_sessions,
+        reuse_port=args.reuseport,
+        trace_dir=trace_dir,
+    )
+    shard_map = supervisor.start()
+    router = FleetRouter(
+        shard_map,
+        registry_dir=fleet_dir / "registry",
+        host=args.host,
+        port=args.port,
+        supervisor=supervisor,
+    )
+
+    async def _main() -> None:
+        await router.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError):  # pragma: no cover
+                loop.add_signal_handler(signum, router.shutdown)
+        shards = ", ".join(s.address for s in shard_map.shards)
+        print(f"fleet listening on {router.host}:{router.port} "
+              f"({len(shard_map)} shard(s): {shards})", flush=True)
+        await router.wait_stopped()
+
+    try:
+        asyncio.run(_main())
+    finally:
+        supervisor.stop_all()
+        if trace_dir is not None:
+            merged = _merge_fleet_traces(trace_dir)
+            print(f"merged {merged} shard trace event(s)", file=sys.stderr)
+    return 0
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    from repro.service.client import StreamingClient
+
+    with StreamingClient(args.host, args.port) as client:
+        reply = client.control({"op": "fleet_status"})
+    if args.json:
+        print(json.dumps(reply, indent=2, sort_keys=True))
+        return 0
+    router = reply["router"]
+    print(f"router {router['host']}:{router['port']}")
+    for shard in reply["shards"]:
+        pid = shard.get("pid")
+        state = "up" if shard.get("alive", shard.get("live")) else "DOWN"
+        pid_part = f" pid={pid}" if pid is not None else ""
+        print(f"  {shard['name']}: {shard['host']}:{shard['port']} {state}{pid_part}")
+    sessions = reply.get("sessions", {})
+    if sessions:
+        print(f"sessions ({len(sessions)}):")
+        for name in sorted(sessions):
+            entry = sessions[name]
+            print(f"  {name}: shard={entry['shard']} events={entry['events']}")
+    return 0
+
+
+def _cmd_fleet_drain(args: argparse.Namespace) -> int:
+    from repro.service.client import StreamingClient
+
+    with StreamingClient(args.host, args.port) as client:
+        reply = client.control({"op": "fleet_drain", "rolling": args.rolling})
+    if args.rolling:
+        print(f"rolling drain complete: replaced {', '.join(reply['replaced'])}")
+    else:
+        print(f"fleet draining: {reply['stopping']} shard(s) stopping")
+    return 0
+
+
+def _cmd_fleet_loadgen(args: argparse.Namespace) -> int:
+    from repro.fleet import run_loadgen, write_bench
+
+    result = run_loadgen(
+        args.host,
+        args.port,
+        streams=args.streams,
+        connections=args.connections,
+        events=args.events,
+        batch=args.batch,
+        num_sites=args.sites,
+        seed=args.seed,
+        verify_sample=args.verify_sample,
+    )
+    latency = result.frame_latency or {}
+    print(f"loadgen: {result.streams} stream(s) over {result.connections} "
+          f"connection(s), {result.events_total} events in {result.wall_seconds:.2f}s "
+          f"({result.events_per_second:,.0f} events/s)")
+    if latency:
+        print(f"  frame latency: p50={latency['p50'] * 1e3:.2f}ms "
+              f"p90={latency['p90'] * 1e3:.2f}ms p99={latency['p99'] * 1e3:.2f}ms "
+              f"max={latency['max'] * 1e3:.2f}ms")
+    print(f"  retries={result.retries} failed={result.failed_streams} "
+          f"verified={result.verified} verify_failures={result.verify_failures}")
+    if args.bench_out:
+        path = write_bench(result, args.bench_out)
+        print(f"wrote benchmark to {path}")
+    return 1 if result.failed_streams or result.verify_failures else 0
 
 
 # ----------------------------------------------------------------------
@@ -611,8 +767,73 @@ def build_parser() -> argparse.ArgumentParser:
                         "ingested there (default: no warehouse)")
     p.add_argument("--max-sessions", type=int, default=256)
     p.add_argument("--max-batch-events", type=int, default=1 << 20)
+    p.add_argument("--shard-name", default=None,
+                   help="this server's identity within a fleet (stamped on "
+                        "stats/metrics replies)")
+    p.add_argument("--reuseport", action="store_true",
+                   help="bind with SO_REUSEPORT so several shard processes "
+                        "can share one port (kernel-balanced fallback "
+                        "deployment; no session affinity)")
     add_obs(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("fleet", help="sharded deployment: router + shard fleet")
+    fleet = p.add_subparsers(dest="fleet_command", required=True)
+
+    p = fleet.add_parser("serve", help="spawn N shards and route to them")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7431,
+                   help="router TCP port (0 = pick a free one; default 7431)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="shard server processes to spawn (default 4)")
+    p.add_argument("--fleet-dir", default=None,
+                   help="fleet state root: checkpoints/, registry/, traces/ "
+                        "(default <cache>/fleet)")
+    p.add_argument("--warehouse-dir", default=None,
+                   help="shared profile warehouse root for all shards")
+    p.add_argument("--idle-timeout", type=float, default=None,
+                   help="per-shard idle-session eviction timeout (seconds)")
+    p.add_argument("--max-sessions", type=int, default=4096,
+                   help="per-shard live session limit (default 4096)")
+    p.add_argument("--reuseport", action="store_true",
+                   help="shards additionally bind one shared SO_REUSEPORT port")
+    add_obs(p)
+    p.set_defaults(func=_cmd_fleet_serve)
+
+    p = fleet.add_parser("status", help="shard table and session placements")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7431)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_fleet_status)
+
+    p = fleet.add_parser("drain", help="stop the fleet (or rolling-restart it)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7431)
+    p.add_argument("--rolling", action="store_true",
+                   help="drain-and-replace shards one at a time instead of "
+                        "stopping the fleet")
+    p.set_defaults(func=_cmd_fleet_drain)
+
+    p = fleet.add_parser("loadgen", help="drive concurrent streams and measure")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7431)
+    p.add_argument("--streams", type=int, default=1000,
+                   help="concurrent sessions to drive (default 1000)")
+    p.add_argument("--connections", type=int, default=32,
+                   help="TCP connections the sessions multiplex over (default 32)")
+    p.add_argument("--events", type=int, default=2000,
+                   help="events per stream (default 2000)")
+    p.add_argument("--batch", type=int, default=500,
+                   help="events per wire batch (default 500)")
+    p.add_argument("--sites", type=int, default=64,
+                   help="branch sites per synthetic stream (default 64)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--verify-sample", type=int, default=10,
+                   help="verify this many streams bit-for-bit against an "
+                        "offline profiler (0 = none; default 10)")
+    p.add_argument("--bench-out", default=None, metavar="FILE",
+                   help="write the benchmark JSON (BENCH_7.json) to FILE")
+    p.set_defaults(func=_cmd_fleet_loadgen)
 
     p = sub.add_parser("stats", help="query and pretty-print a live server's metrics")
     p.add_argument("--host", default="127.0.0.1")

@@ -1,0 +1,114 @@
+"""One-call fleet bring-up for tests, examples, and benchmarks.
+
+:class:`FleetHarness` owns a :class:`~repro.fleet.supervisor.FleetSupervisor`
+(N shard subprocesses sharing one checkpoint dir) plus a
+:class:`~repro.fleet.router.RouterThread` (the front door, on a daemon
+thread in *this* process), laid out under one root directory::
+
+    <root>/checkpoints/   shared session checkpoints (any-shard resume)
+    <root>/registry/      session -> shard placement records
+    <root>/warehouse/     shared profile warehouse (optional)
+
+The same layout is what ``repro-2dprof fleet serve --fleet-dir`` uses,
+so a harness-built fleet and a CLI-built one are interchangeable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.fleet.router import RouterThread
+from repro.fleet.supervisor import FleetSupervisor
+from repro.service.client import StreamingClient
+
+#: Generous per-shard session limit so loadgen runs don't trip it.
+DEFAULT_MAX_SESSIONS = 4096
+
+
+class FleetHarness:
+    """N shard subprocesses behind an in-process router thread."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        num_shards: int = 3,
+        warehouse: bool = False,
+        idle_timeout: float | None = None,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        dead_cooldown: float = 0.5,
+        trace_dir: str | Path | None = None,
+    ):
+        self.root = Path(root)
+        self.checkpoint_dir = self.root / "checkpoints"
+        self.registry_dir = self.root / "registry"
+        self.warehouse_dir = self.root / "warehouse" if warehouse else None
+        self.supervisor = FleetSupervisor(
+            num_shards,
+            checkpoint_dir=self.checkpoint_dir,
+            warehouse_dir=self.warehouse_dir,
+            idle_timeout=idle_timeout,
+            max_sessions=max_sessions,
+            trace_dir=trace_dir,
+        )
+        self._dead_cooldown = dead_cooldown
+        self._router_thread: RouterThread | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "FleetHarness":
+        shard_map = self.supervisor.start()
+        self._router_thread = RouterThread(
+            shard_map=shard_map,
+            registry_dir=self.registry_dir,
+            supervisor=self.supervisor,
+            dead_cooldown=self._dead_cooldown,
+        ).start()
+        return self
+
+    def stop(self) -> None:
+        if self._router_thread is not None:
+            self._router_thread.shutdown()
+        self.supervisor.stop_all()
+
+    def __enter__(self) -> "FleetHarness":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- access ---------------------------------------------------------
+
+    @property
+    def router(self):
+        assert self._router_thread is not None, "harness not started"
+        return self._router_thread.router
+
+    @property
+    def host(self) -> str:
+        return self.router.host
+
+    @property
+    def port(self) -> int:
+        return self.router.port
+
+    def client(self, timeout: float = 60.0) -> StreamingClient:
+        """A blocking client connected through the router."""
+        return StreamingClient(self.host, self.port, timeout=timeout)
+
+    # -- fleet operations ----------------------------------------------
+
+    def owner_of(self, session: str) -> str | None:
+        """Which shard the registry says last held ``session``."""
+        entry = self.router.registry.lookup(session)
+        return entry["shard"] if entry else None
+
+    def kill_shard(self, name: str) -> int:
+        """SIGKILL one shard (no drain); returns the dead pid."""
+        return self.supervisor.kill(name)
+
+    def restart_dead(self) -> list[str]:
+        """Respawn killed shards (the shared map updates in place)."""
+        return self.supervisor.restart_dead()
+
+    def rolling_restart(self) -> list[str]:
+        return self.supervisor.rolling_restart()

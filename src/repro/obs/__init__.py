@@ -31,6 +31,8 @@ from repro.obs.metrics import (  # noqa: F401
     Histogram,
     Registry,
     get_registry,
+    labeled_snapshot,
+    merge_additive_snapshot,
     set_registry,
 )
 from repro.obs.tracing import Tracer, configure, get_tracer  # noqa: F401
@@ -45,5 +47,7 @@ __all__ = [
     "configure",
     "get_registry",
     "get_tracer",
+    "labeled_snapshot",
+    "merge_additive_snapshot",
     "set_registry",
 ]

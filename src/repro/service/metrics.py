@@ -58,6 +58,10 @@ class ServiceMetrics:
             "wall time from frame decode to reply encode",
             buckets=_LATENCY_BUCKETS,
         )
+        self.drain_seconds = self.registry.histogram(
+            "service_drain_seconds",
+            "wall time of SIGTERM drains (checkpoint every session, stop)",
+        )
         self.started_at = time.monotonic()
 
     def uptime(self) -> float:
@@ -89,5 +93,9 @@ class ServiceMetrics:
             "p50": latency.percentile(0.50) if latency.count else None,
             "p90": latency.percentile(0.90) if latency.count else None,
             "p99": latency.percentile(0.99) if latency.count else None,
+        }
+        payload["drain"] = {
+            "count": self.drain_seconds.count,
+            "sum_seconds": self.drain_seconds.sum,
         }
         return payload

@@ -140,9 +140,17 @@ class ProfilingServer:
         checkpoint_dir: str | Path | None = None,
         limits: ServiceLimits | None = None,
         warehouse_dir: str | Path | None = None,
+        shard_name: str | None = None,
+        reuse_port: bool = False,
     ):
         self.host = host
         self.port = port
+        #: Identity within a fleet; stamped on stats/metrics replies so the
+        #: router can label merged series with ``shard="<name>"``.
+        self.shard_name = shard_name
+        #: SO_REUSEPORT fallback deployment: several shard processes bind
+        #: the same port and the kernel spreads connections across them.
+        self.reuse_port = reuse_port
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
         self.warehouse_dir = Path(warehouse_dir) if warehouse_dir else None
         self._warehouse = None
@@ -167,7 +175,9 @@ class ProfilingServer:
         if self.checkpoint_dir is not None:
             self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
             ckpt.sweep_checkpoint_dir(self.checkpoint_dir)
-        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        kwargs = {"reuse_port": True} if self.reuse_port else {}
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, **kwargs)
         self.port = self._server.sockets[0].getsockname()[1]
         if self.limits.idle_timeout:
             self._reaper = asyncio.create_task(self._reap_idle_sessions())
@@ -188,14 +198,20 @@ class ProfilingServer:
             return 0
         self._draining = True
         written = 0
-        if self.checkpoint_dir is not None:
-            for session in list(self._sessions.values()):
-                ckpt.save_checkpoint(
-                    self.checkpoint_dir, session.name, session.profiler,
-                    session.events_received,
-                )
-                self.metrics.checkpoints_written.inc()
-                written += 1
+        started = time.perf_counter()
+        with get_tracer().span("service.drain", cat="service",
+                               shard=self.shard_name) as sp:
+            if self.checkpoint_dir is not None:
+                for session in list(self._sessions.values()):
+                    ckpt.save_checkpoint(
+                        self.checkpoint_dir, session.name, session.profiler,
+                        session.events_received,
+                    )
+                    self.metrics.checkpoints_written.inc()
+                    written += 1
+            sp.set("sessions", len(self._sessions))
+            sp.set("checkpoints", written)
+        self.metrics.drain_seconds.observe(time.perf_counter() - started)
         log.info("drain: %d session checkpoint(s) written", written)
         self._shut_down()
         return written
@@ -225,14 +241,18 @@ class ProfilingServer:
             now = asyncio.get_running_loop().time()
             for session in [s for s in self._sessions.values()
                             if now - s.last_active > timeout]:
-                if self.checkpoint_dir is not None:
-                    ckpt.save_checkpoint(
-                        self.checkpoint_dir, session.name, session.profiler,
-                        session.events_received,
-                    )
-                    self.metrics.checkpoints_written.inc()
-                self._drop_session(session)
-                self.metrics.sessions_evicted.inc()
+                with get_tracer().span("service.evict", cat="service",
+                                       session=session.name,
+                                       events=session.events_received) as sp:
+                    if self.checkpoint_dir is not None:
+                        ckpt.save_checkpoint(
+                            self.checkpoint_dir, session.name, session.profiler,
+                            session.events_received,
+                        )
+                        self.metrics.checkpoints_written.inc()
+                        sp.set("checkpointed", True)
+                    self._drop_session(session)
+                    self.metrics.sessions_evicted.inc()
                 log.info("evicted idle session %r after %.0fs", session.name, timeout)
 
     def _drop_session(self, session: _Session) -> None:
@@ -330,6 +350,7 @@ class ProfilingServer:
             "checkpoint": self._op_checkpoint,
             "close": self._op_close,
             "stats": self._op_stats,
+            "metrics": self._op_metrics,
         }
         handler = handlers.get(op)
         if handler is None:
@@ -497,12 +518,33 @@ class ProfilingServer:
         return run_id
 
     def _op_stats(self, message: dict) -> dict:
+        return {"ok": True, "op": "stats", "stats": self._stats_payload()}
+
+    def _stats_payload(self) -> dict:
         payload = self.metrics.snapshot(active_sessions=len(self._sessions))
+        if self.shard_name is not None:
+            payload["shard"] = self.shard_name
         payload["sessions"] = {
             session.name: session.events_received
             for session in self._sessions.values()
         }
-        return {"ok": True, "op": "stats", "stats": payload}
+        return payload
+
+    def _op_metrics(self, message: dict) -> dict:
+        """Full registry snapshot plus the legacy stats payload.
+
+        This is the fleet router's scrape endpoint: the snapshot merges
+        into a fleet-wide registry (with a ``shard`` label per origin, see
+        :func:`repro.obs.metrics.labeled_snapshot`), while ``stats`` keeps
+        the summed legacy view cheap to build.
+        """
+        return {
+            "ok": True,
+            "op": "metrics",
+            "shard": self.shard_name,
+            "snapshot": self.metrics.registry.snapshot(),
+            "stats": self._stats_payload(),
+        }
 
 
 class ServerThread:
@@ -535,6 +577,10 @@ class ServerThread:
     def port(self) -> int:
         assert self.server is not None
         return self.server.port
+
+    def is_alive(self) -> bool:
+        """Whether the server's event loop thread is still running."""
+        return self._thread is not None and self._thread.is_alive()
 
     def _run(self) -> None:
         try:

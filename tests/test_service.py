@@ -514,3 +514,75 @@ class TestWarehouseFinalize:
                                         meta={"workload": ["not", "scalar"]})
         finally:
             server.drain()
+
+
+# ----------------------------------------------------------------------
+# Drain / eviction observability (fleet satellite)
+# ----------------------------------------------------------------------
+
+
+class TestLifecycleObservability:
+    def test_drain_observes_duration_histogram(self, tmp_path, stream_data):
+        trace, sim, config, _offline = stream_data
+        server = _start_server(tmp_path)
+        with StreamingClient("127.0.0.1", server.port) as client:
+            client.open_session("run", trace.num_sites, config)
+            client.send_events("run", trace.sites[:3000], sim.correct[:3000])
+            before = client.stats()
+            assert before["drain"] == {"count": 0, "sum_seconds": 0.0}
+        server.drain()
+        metrics = server.server.metrics
+        assert metrics.drain_seconds.count == 1
+        assert metrics.drain_seconds.sum >= 0.0
+        # The registry carries it too (what the router scrapes).
+        assert "service_drain_seconds" in metrics.registry.snapshot()
+
+    def test_drain_and_evict_emit_spans(self, tmp_path, stream_data):
+        from repro.obs import get_tracer
+
+        trace, sim, config, _offline = stream_data
+        tracer = get_tracer()
+        tracer.clear()
+        tracer.configure(enabled=True)
+        try:
+            server = _start_server(
+                tmp_path, shard_name="s9",
+                limits=ServiceLimits(idle_timeout=0.2))
+            with StreamingClient("127.0.0.1", server.port) as client:
+                client.open_session("run", trace.num_sites, config)
+                client.send_events("run", trace.sites[:3000], sim.correct[:3000])
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    if client.stats()["sessions_evicted"] >= 1:
+                        break
+                    time.sleep(0.05)
+                assert client.stats()["sessions_evicted"] >= 1
+                client.open_session("run", trace.num_sites, config, resume=True)
+            server.drain()
+            spans = {e["name"]: e for e in tracer.events() if e.get("ph") == "X"}
+            evict = spans["service.evict"]
+            assert evict["args"]["session"] == "run"
+            assert evict["args"]["checkpointed"] is True
+            drain = spans["service.drain"]
+            assert drain["args"]["shard"] == "s9"
+            assert drain["args"]["sessions"] == 1  # the resumed session
+            assert drain["args"]["checkpoints"] == 1
+        finally:
+            tracer.configure(enabled=False)
+            tracer.clear()
+
+    def test_metrics_op_returns_registry_snapshot_with_shard(self, tmp_path, stream_data):
+        trace, sim, config, _offline = stream_data
+        server = _start_server(tmp_path, shard_name="s3")
+        try:
+            with StreamingClient("127.0.0.1", server.port) as client:
+                stream_simulation(client, "run", trace.sites, sim.correct,
+                                  config, num_sites=trace.num_sites)
+                reply = client.metrics()
+            assert reply["shard"] == "s3"
+            assert reply["stats"]["shard"] == "s3"
+            snapshot = reply["snapshot"]
+            assert snapshot["service_events_total"]["value"] == len(trace)
+            assert snapshot["service_frame_latency_seconds"]["count"] > 0
+        finally:
+            server.drain()
