@@ -9,6 +9,9 @@ Subcommands map to the paper's experiments::
     repro-2dprof series gapish              # Figure 8 ASCII time series
     repro-2dprof overhead gzipish           # Figure 16 instrumentation costs
     repro-2dprof serve                      # streaming profiling service
+    repro-2dprof fleet serve --shards 4     # sharded fleet + telemetry plane
+    repro-2dprof top --once                 # live fleet dashboard (from TSDB)
+    repro-2dprof logs --event alert_fired   # query structured JSON logs
     repro-2dprof stream gzipish --verify    # replay a run into the service
     repro-2dprof stats                      # metrics snapshot of a live server
     repro-2dprof db ingest gzipish          # profile + store in the warehouse
@@ -266,9 +269,14 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import os
 
     from repro.service.server import ProfilingServer, ServiceLimits, serve_until_signalled
 
+    if args.log_json:
+        from repro.obs.logs import configure_logging
+
+        configure_logging(path=args.log_json)
     checkpoint_dir = args.checkpoint_dir
     if checkpoint_dir is None:
         checkpoint_dir = default_cache_dir() / "service"
@@ -286,7 +294,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
     )
     _EXTRA_REGISTRIES.append(server.metrics.registry)
-    asyncio.run(serve_until_signalled(server))
+    recorder = None
+    if args.flight_record:
+        from repro.obs.flightrec import FlightRecorder
+
+        recorder = FlightRecorder(
+            args.flight_record,
+            name=args.shard_name or f"pid{os.getpid()}")
+        recorder.arm()
+    asyncio.run(serve_until_signalled(server, flight_recorder=recorder))
     return 0
 
 
@@ -441,6 +457,14 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
 
     fleet_dir = Path(args.fleet_dir) if args.fleet_dir else default_cache_dir() / "fleet"
     trace_dir = fleet_dir / "traces" if args.trace else None
+    telemetry_dir = None
+    if not args.no_telemetry:
+        telemetry_dir = (Path(args.telemetry_dir) if args.telemetry_dir
+                         else fleet_dir / "telemetry")
+        from repro.obs.logs import configure_logging, process_log_path
+
+        configure_logging(
+            path=process_log_path(telemetry_dir / "logs", "router"))
     supervisor = FleetSupervisor(
         args.shards,
         checkpoint_dir=fleet_dir / "checkpoints",
@@ -450,15 +474,34 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         max_sessions=args.max_sessions,
         reuse_port=args.reuseport,
         trace_dir=trace_dir,
+        flight_dir=telemetry_dir / "flight" if telemetry_dir else None,
+        log_dir=telemetry_dir / "logs" if telemetry_dir else None,
     )
     shard_map = supervisor.start()
+    telemetry = None
+    if telemetry_dir is not None:
+        from repro.obs.slo import load_rules
+        from repro.obs.telemetry import FleetTelemetry
+
+        telemetry = FleetTelemetry(
+            telemetry_dir,
+            shard_map=shard_map,
+            supervisor=supervisor,
+            rules=load_rules(args.rules) if args.rules else None,
+            scrape_interval=args.scrape_interval,
+            watchdog=not args.no_watchdog,
+        )
     router = FleetRouter(
         shard_map,
         registry_dir=fleet_dir / "registry",
         host=args.host,
         port=args.port,
         supervisor=supervisor,
+        telemetry=telemetry,
     )
+    if telemetry is not None:
+        telemetry.scraper.local_registries["router"] = router.metrics
+        telemetry.start()
 
     async def _main() -> None:
         await router.start()
@@ -469,11 +512,18 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         shards = ", ".join(s.address for s in shard_map.shards)
         print(f"fleet listening on {router.host}:{router.port} "
               f"({len(shard_map)} shard(s): {shards})", flush=True)
+        if telemetry is not None:
+            print(f"telemetry in {telemetry_dir} "
+                  f"(scrape every {args.scrape_interval:g}s, "
+                  f"watchdog {'off' if args.no_watchdog else 'on'})",
+                  flush=True)
         await router.wait_stopped()
 
     try:
         asyncio.run(_main())
     finally:
+        if telemetry is not None:
+            telemetry.stop()
         supervisor.stop_all()
         if trace_dir is not None:
             merged = _merge_fleet_traces(trace_dir)
@@ -494,8 +544,27 @@ def _cmd_fleet_status(args: argparse.Namespace) -> int:
     for shard in reply["shards"]:
         pid = shard.get("pid")
         state = "up" if shard.get("alive", shard.get("live")) else "DOWN"
-        pid_part = f" pid={pid}" if pid is not None else ""
-        print(f"  {shard['name']}: {shard['host']}:{shard['port']} {state}{pid_part}")
+        parts = [f" pid={pid}" if pid is not None else ""]
+        if shard.get("uptime") is not None:
+            parts.append(f" up={shard['uptime']:.0f}s")
+        if shard.get("restarts"):
+            parts.append(f" restarts={shard['restarts']}")
+        if shard.get("scrape_age") is not None:
+            parts.append(f" scraped={shard['scrape_age']:.1f}s ago")
+        if shard.get("scrape_misses"):
+            parts.append(f" misses={shard['scrape_misses']}")
+        print(f"  {shard['name']}: {shard['host']}:{shard['port']} "
+              f"{state}{''.join(parts)}")
+        for alert in shard.get("alerts") or []:
+            print(f"    ALERT {alert['rule']} [{alert['severity']}] "
+                  f"value={alert.get('value')}")
+    fleet_alerts = [a for a in reply.get("alerts") or []
+                    if a.get("source") not in {s["name"] for s in reply["shards"]}]
+    if fleet_alerts:
+        print("alerts:")
+        for alert in fleet_alerts:
+            print(f"  {alert['rule']} [{alert['severity']}] "
+                  f"source={alert.get('source')} value={alert.get('value')}")
     sessions = reply.get("sessions", {})
     if sessions:
         print(f"sessions ({len(sessions)}):")
@@ -545,6 +614,59 @@ def _cmd_fleet_loadgen(args: argparse.Namespace) -> int:
         path = write_bench(result, args.bench_out)
         print(f"wrote benchmark to {path}")
     return 1 if result.failed_streams or result.verify_failures else 0
+
+
+# ----------------------------------------------------------------------
+# Telemetry subcommands (top, logs)
+# ----------------------------------------------------------------------
+
+
+def _telemetry_root(arg: str | None) -> "Path":
+    from pathlib import Path
+
+    return Path(arg) if arg else default_cache_dir() / "fleet" / "telemetry"
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import run_top
+
+    tsdb_dir = _telemetry_root(args.telemetry_dir) / "tsdb"
+    if not tsdb_dir.is_dir():
+        print(f"no telemetry TSDB at {tsdb_dir} "
+              f"(is a fleet running with telemetry on?)", file=sys.stderr)
+        return 1
+    return run_top(
+        tsdb_dir,
+        interval=args.interval,
+        window=args.window,
+        once=args.once,
+        as_json=args.json,
+    )
+
+
+def _cmd_logs(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.logs import format_record, read_logs
+
+    root = Path(args.path) if args.path else _telemetry_root(None) / "logs"
+    if not root.exists():
+        print(f"no logs at {root}", file=sys.stderr)
+        return 1
+    records = list(read_logs(
+        root,
+        event=args.event,
+        level=args.level,
+        trace_id=args.trace_id,
+        since=args.since,
+        grep=args.grep,
+    ))
+    if args.tail is not None:
+        records = records[-args.tail:]
+    for doc in records:
+        print(json.dumps(doc, sort_keys=True) if args.json
+              else format_record(doc))
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -774,6 +896,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bind with SO_REUSEPORT so several shard processes "
                         "can share one port (kernel-balanced fallback "
                         "deployment; no session affinity)")
+    p.add_argument("--flight-record", default=None, metavar="DIR",
+                   help="arm a flight recorder: keep a trace ring buffer in "
+                        "memory and dump it to DIR on SIGUSR2")
+    p.add_argument("--log-json", default=None, metavar="FILE",
+                   help="append structured JSON-lines logs to FILE")
     add_obs(p)
     p.set_defaults(func=_cmd_serve)
 
@@ -797,6 +924,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-shard live session limit (default 4096)")
     p.add_argument("--reuseport", action="store_true",
                    help="shards additionally bind one shared SO_REUSEPORT port")
+    p.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                   help="telemetry root: tsdb/, flight/, logs/ "
+                        "(default <fleet-dir>/telemetry)")
+    p.add_argument("--scrape-interval", type=float, default=1.0,
+                   help="seconds between metric scrapes (default 1.0)")
+    p.add_argument("--rules", default=None, metavar="FILE",
+                   help="SLO/alert rules JSON (default: built-in fleet rules)")
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="run without the telemetry plane (no scraper, TSDB, "
+                        "alerts, watchdog, or flight recorder)")
+    p.add_argument("--no-watchdog", action="store_true",
+                   help="scrape and alert but never auto-restart shards")
     add_obs(p)
     p.set_defaults(func=_cmd_fleet_serve)
 
@@ -841,6 +980,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the raw stats-frame JSON instead of a table")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("top", help="live fleet dashboard from the telemetry TSDB")
+    p.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                   help="telemetry root holding tsdb/ "
+                        "(default <cache>/fleet/telemetry)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between refreshes (default 2.0)")
+    p.add_argument("--window", type=float, default=10.0,
+                   help="rate/quantile lookback window in seconds (default 10)")
+    p.add_argument("--once", action="store_true",
+                   help="render one frame and exit (exit code 2 if any alert "
+                        "is firing)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the overview as JSON instead of the text board")
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser("logs", help="query structured JSON-lines service logs")
+    p.add_argument("path", nargs="?", default=None,
+                   help="log file or directory of *.jsonl files "
+                        "(default <cache>/fleet/telemetry/logs)")
+    p.add_argument("--event", default=None,
+                   help="keep only records with this structured event name")
+    p.add_argument("--level", default=None,
+                   help="minimum level (DEBUG/INFO/WARNING/ERROR)")
+    p.add_argument("--trace-id", default=None,
+                   help="keep only records from this trace")
+    p.add_argument("--since", type=float, default=None, metavar="TS",
+                   help="keep records at/after this UNIX timestamp")
+    p.add_argument("--grep", default=None,
+                   help="substring filter over the rendered message")
+    p.add_argument("--tail", type=int, default=None, metavar="N",
+                   help="only the last N matching records")
+    p.add_argument("--json", action="store_true",
+                   help="print raw JSON records instead of formatted lines")
+    p.set_defaults(func=_cmd_logs)
 
     p = sub.add_parser("stream", help="replay a workload run into the service, live")
     p.add_argument("workload")

@@ -8,9 +8,13 @@ thread in *this* process), laid out under one root directory::
     <root>/checkpoints/   shared session checkpoints (any-shard resume)
     <root>/registry/      session -> shard placement records
     <root>/warehouse/     shared profile warehouse (optional)
+    <root>/telemetry/     metric TSDB + flight records + logs (optional)
 
 The same layout is what ``repro-2dprof fleet serve --fleet-dir`` uses,
-so a harness-built fleet and a CLI-built one are interchangeable.
+so a harness-built fleet and a CLI-built one are interchangeable.  With
+``telemetry=True`` the harness also runs the full telemetry plane
+(scraper, SLO rules, watchdog, flight recorder — see
+:mod:`repro.obs.telemetry`) against the fleet.
 """
 
 from __future__ import annotations
@@ -37,11 +41,16 @@ class FleetHarness:
         max_sessions: int = DEFAULT_MAX_SESSIONS,
         dead_cooldown: float = 0.5,
         trace_dir: str | Path | None = None,
+        telemetry: bool = False,
+        scrape_interval: float = 0.5,
+        rules=None,
+        watchdog: bool = True,
     ):
         self.root = Path(root)
         self.checkpoint_dir = self.root / "checkpoints"
         self.registry_dir = self.root / "registry"
         self.warehouse_dir = self.root / "warehouse" if warehouse else None
+        self.telemetry_dir = self.root / "telemetry" if telemetry else None
         self.supervisor = FleetSupervisor(
             num_shards,
             checkpoint_dir=self.checkpoint_dir,
@@ -49,23 +58,44 @@ class FleetHarness:
             idle_timeout=idle_timeout,
             max_sessions=max_sessions,
             trace_dir=trace_dir,
+            flight_dir=self.telemetry_dir / "flight" if telemetry else None,
+            log_dir=self.telemetry_dir / "logs" if telemetry else None,
         )
         self._dead_cooldown = dead_cooldown
+        self._telemetry_opts = dict(
+            scrape_interval=scrape_interval, rules=rules, watchdog=watchdog)
+        self.telemetry = None
         self._router_thread: RouterThread | None = None
 
     # -- lifecycle ------------------------------------------------------
 
     def start(self) -> "FleetHarness":
         shard_map = self.supervisor.start()
+        if self.telemetry_dir is not None:
+            from repro.obs.telemetry import FleetTelemetry
+
+            self.telemetry = FleetTelemetry(
+                self.telemetry_dir,
+                shard_map=shard_map,
+                supervisor=self.supervisor,
+                **self._telemetry_opts,
+            )
         self._router_thread = RouterThread(
             shard_map=shard_map,
             registry_dir=self.registry_dir,
             supervisor=self.supervisor,
             dead_cooldown=self._dead_cooldown,
+            telemetry=self.telemetry,
         ).start()
+        if self.telemetry is not None:
+            self.telemetry.scraper.local_registries["router"] = \
+                self.router.metrics
+            self.telemetry.start()
         return self
 
     def stop(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.stop()
         if self._router_thread is not None:
             self._router_thread.shutdown()
         self.supervisor.stop_all()

@@ -120,6 +120,7 @@ class FleetRouter:
         supervisor=None,
         dead_cooldown: float = 2.0,
         connect_timeout: float = 5.0,
+        telemetry=None,
     ):
         self.shard_map = shard_map
         self.registry = SessionRegistry(registry_dir)
@@ -129,6 +130,9 @@ class FleetRouter:
         #: present, ``fleet_status`` reports pids and ``fleet_drain`` can
         #: restart/stop the shard processes.
         self.supervisor = supervisor
+        #: Optional :class:`~repro.obs.telemetry.FleetTelemetry`; when
+        #: present, ``fleet_status`` includes scrape ages and alert state.
+        self.telemetry = telemetry
         self.dead_cooldown = dead_cooldown
         self.connect_timeout = connect_timeout
         self.metrics = Registry()
@@ -250,8 +254,10 @@ class FleetRouter:
                 self._frames.inc()
                 started = time.perf_counter()
                 frame_type, payload = frame
-                with get_tracer().span("router.frame", cat="fleet",
-                                       frame=chr(frame_type)) as sp:
+                with get_tracer().span(
+                        "router.frame", cat="fleet",
+                        hot_path=frame_type == protocol.FRAME_EVENTS,
+                        frame=chr(frame_type)) as sp:
                     reply = await self._dispatch(state, frame_type, payload)
                     sp.set("ok", bool(reply.get("ok")))
                 self._latency.observe(time.perf_counter() - started)
@@ -458,17 +464,29 @@ class FleetRouter:
 
     def _op_fleet_status(self) -> dict:
         supervisor_status = self.supervisor.status() if self.supervisor else {}
+        telemetry_status = self.telemetry.status() if self.telemetry else None
         shards = []
         for spec in self.shard_map.shards:
             entry = {"name": spec.name, "host": spec.host, "port": spec.port,
                      "live": spec.name not in self._dead_until
                      or self._dead_until[spec.name] <= asyncio.get_running_loop().time()}
             entry.update(supervisor_status.get(spec.name, {}))
+            if telemetry_status is not None:
+                entry["scrape_age"] = telemetry_status["scrape_age"].get(spec.name)
+                entry["scrape_misses"] = telemetry_status["misses"].get(spec.name, 0)
+                entry["alerts"] = [
+                    alert for alert in telemetry_status["alerts"]
+                    if alert.get("source") == spec.name
+                ]
             shards.append(entry)
-        return {"ok": True, "op": "fleet_status",
-                "router": {"host": self.host, "port": self.port},
-                "shards": shards,
-                "sessions": self.registry.entries()}
+        reply = {"ok": True, "op": "fleet_status",
+                 "router": {"host": self.host, "port": self.port},
+                 "shards": shards,
+                 "sessions": self.registry.entries()}
+        if telemetry_status is not None:
+            reply["telemetry"] = telemetry_status
+            reply["alerts"] = telemetry_status["alerts"]
+        return reply
 
     async def _op_fleet_drain(self, message: dict) -> dict:
         if self.supervisor is None:

@@ -36,6 +36,7 @@ from pathlib import Path
 import repro
 from repro.errors import ServiceError
 from repro.fleet.shardmap import ShardMap, ShardSpec
+from repro.obs.logs import log_event
 
 log = logging.getLogger(__name__)
 
@@ -65,6 +66,8 @@ class ShardProcess:
         max_sessions: int = 1024,
         reuse_port: bool = False,
         trace_path: str | Path | None = None,
+        flight_dir: str | Path | None = None,
+        log_path: str | Path | None = None,
     ):
         self.name = name
         self.checkpoint_dir = Path(checkpoint_dir)
@@ -75,8 +78,11 @@ class ShardProcess:
         self.max_sessions = max_sessions
         self.reuse_port = reuse_port
         self.trace_path = Path(trace_path) if trace_path else None
+        self.flight_dir = Path(flight_dir) if flight_dir else None
+        self.log_path = Path(log_path) if log_path else None
         self.proc: subprocess.Popen | None = None
         self.spec: ShardSpec | None = None
+        self.started_at: float | None = None
 
     def start(self, timeout: float = 30.0) -> ShardSpec:
         """Spawn the server and wait for it to announce its bound port."""
@@ -96,8 +102,13 @@ class ShardProcess:
             cmd += ["--reuseport"]
         if self.trace_path is not None:
             cmd += ["--trace", str(self.trace_path)]
+        if self.flight_dir is not None:
+            cmd += ["--flight-record", str(self.flight_dir)]
+        if self.log_path is not None:
+            cmd += ["--log-json", str(self.log_path)]
         self.proc = subprocess.Popen(
             cmd, stdout=subprocess.PIPE, env=_child_env(), text=True)
+        self.started_at = time.time()
         self.spec = ShardSpec(self.name, self.host, self._await_port(timeout))
         log.info("shard %s: pid %d on %s", self.name, self.proc.pid, self.spec.address)
         return self.spec
@@ -127,6 +138,12 @@ class ShardProcess:
 
     def alive(self) -> bool:
         return self.proc is not None and self.proc.poll() is None
+
+    def uptime(self) -> float | None:
+        """Seconds since this process incarnation spawned (None if dead)."""
+        if not self.alive() or self.started_at is None:
+            return None
+        return time.time() - self.started_at
 
     def terminate(self, timeout: float = 30.0) -> None:
         """SIGTERM (graceful drain: every session checkpointed) and wait."""
@@ -165,6 +182,8 @@ class FleetSupervisor:
         reuse_port: bool = False,
         port: int = 0,
         trace_dir: str | Path | None = None,
+        flight_dir: str | Path | None = None,
+        log_dir: str | Path | None = None,
     ):
         if num_shards < 1:
             raise ServiceError("a fleet needs at least one shard")
@@ -173,8 +192,17 @@ class FleetSupervisor:
         self.trace_dir = Path(trace_dir) if trace_dir else None
         if self.trace_dir is not None:
             self.trace_dir.mkdir(parents=True, exist_ok=True)
+        self.flight_dir = Path(flight_dir) if flight_dir else None
+        if self.flight_dir is not None:
+            self.flight_dir.mkdir(parents=True, exist_ok=True)
+        self.log_dir = Path(log_dir) if log_dir else None
+        if self.log_dir is not None:
+            self.log_dir.mkdir(parents=True, exist_ok=True)
         self.shard_map = ShardMap()
         self.processes: dict[str, ShardProcess] = {}
+        #: Per-shard respawn counts (rolling restarts excluded) — the
+        #: watchdog and ``restart_dead`` both feed this.
+        self.restarts: dict[str, int] = {}
         self._template = dict(
             checkpoint_dir=self.checkpoint_dir,
             warehouse_dir=warehouse_dir,
@@ -190,6 +218,10 @@ class FleetSupervisor:
         kwargs = dict(self._template)
         if self.trace_dir is not None:
             kwargs["trace_path"] = self.trace_dir / f"{name}.trace.json"
+        if self.flight_dir is not None:
+            kwargs["flight_dir"] = self.flight_dir
+        if self.log_dir is not None:
+            kwargs["log_path"] = self.log_dir / f"{name}.jsonl"
         process = ShardProcess(name, **kwargs)
         spec = process.start()
         self.processes[name] = process
@@ -219,14 +251,38 @@ class FleetSupervisor:
             log.info("rolling restart: replaced shard %s", name)
         return replaced
 
+    def respawn(self, name: str) -> ShardSpec:
+        """Replace one (dead) shard process under the same name.
+
+        The unit behind both :meth:`restart_dead` and the telemetry
+        watchdog; counts the respawn and logs it as a structured event.
+        """
+        if name not in self.processes:
+            raise ServiceError(f"no shard named {name!r}")
+        spec = self._spawn(name)
+        self.shard_map.replace(spec)
+        self.restarts[name] = self.restarts.get(name, 0) + 1
+        log_event(log, "shard_respawned", shard=name,
+                  pid=self.processes[name].pid, port=spec.port,
+                  restarts=self.restarts[name])
+        return spec
+
     def restart_dead(self) -> list[str]:
         """Respawn any shard whose process exited; returns names revived."""
         revived = []
         for name, process in sorted(self.processes.items()):
             if not process.alive():
-                self.shard_map.replace(self._spawn(name))
+                self.respawn(name)
                 revived.append(name)
         return revived
+
+    def signal(self, name: str, signum: int) -> None:
+        """Send ``signum`` to one live shard (e.g. SIGUSR2 = flight dump)."""
+        process = self.processes.get(name)
+        if process is None or not process.alive():
+            raise ServiceError(f"shard {name!r} is not running")
+        assert process.proc is not None
+        process.proc.send_signal(signum)
 
     def kill(self, name: str) -> int:
         """SIGKILL one shard (chaos testing); returns its pid."""
@@ -252,7 +308,13 @@ class FleetSupervisor:
 
     def status(self) -> dict[str, dict]:
         """Per-shard process info for ``fleet_status`` replies."""
-        return {
-            name: {"pid": process.pid, "alive": process.alive()}
-            for name, process in self.processes.items()
-        }
+        out: dict[str, dict] = {}
+        for name, process in self.processes.items():
+            uptime = process.uptime()
+            out[name] = {
+                "pid": process.pid,
+                "alive": process.alive(),
+                "uptime": round(uptime, 3) if uptime is not None else None,
+                "restarts": self.restarts.get(name, 0),
+            }
+        return out

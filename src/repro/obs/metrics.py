@@ -41,6 +41,29 @@ def _label_str(key: tuple) -> str:
     return ",".join(f'{k}="{v}"' for k, v in key)
 
 
+def _escape_label_value(value) -> str:
+    """Escape a label value for the Prometheus text exposition format.
+
+    Backslash, double-quote, and newline are the three characters the
+    format defines escapes for.  Snapshot keys stay *unescaped* (they
+    round-trip through merge/labeled_snapshot as plain strings); only the
+    rendered exposition applies this.
+    """
+    return (str(value)
+            .replace("\\", r"\\")
+            .replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
+def _prom_label_str(key: tuple) -> str:
+    return ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in key)
+
+
+def _escape_help(text: str) -> str:
+    """Escape a HELP line (backslash and newline only, per the format)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
 class _Metric:
     """Shared machinery: identity, help text, and labeled children."""
 
@@ -307,15 +330,15 @@ class Registry:
         lines: list[str] = []
         for name, metric in sorted(metrics.items()):
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {name} {metric.kind}")
             series = [((), metric)] + sorted(metric._children.items())
             for key, child in series:
-                suffix = "{" + _label_str(key) + "}" if key else ""
+                suffix = "{" + _prom_label_str(key) + "}" if key else ""
                 if isinstance(child, (Counter, Gauge)):
                     lines.append(f"{name}{suffix} {child.value}")
                 elif isinstance(child, Histogram):
-                    base = _label_str(key)
+                    base = _prom_label_str(key)
                     for bound, cumulative in child.bucket_counts().items():
                         label = f'{base},le="{bound}"' if base else f'le="{bound}"'
                         lines.append(f"{name}_bucket{{{label}}} {cumulative}")
@@ -353,10 +376,7 @@ class Registry:
             if entry.get("count", 0):
                 metric._merge_state(entry)
         for label_str, child_entry in entry.get("labels", {}).items():
-            labels = dict(
-                part.split("=", 1) for part in label_str.split(",") if "=" in part
-            )
-            labels = {k: v.strip('"') for k, v in labels.items()}
+            labels = _parse_label_str(label_str)
             self._merge_entry(name, child_entry, parent=metric.labels(**labels))
 
     def clear(self) -> None:
@@ -364,11 +384,19 @@ class Registry:
             self._metrics.clear()
 
 
+def _unquote(value: str) -> str:
+    # Exactly one surrounding quote pair — str.strip('"') would also eat
+    # quotes that belong to the label value itself.
+    if len(value) >= 2 and value[0] == '"' and value[-1] == '"':
+        return value[1:-1]
+    return value
+
+
 def _parse_label_str(label_str: str) -> dict:
     labels = dict(
         part.split("=", 1) for part in label_str.split(",") if "=" in part
     )
-    return {k: v.strip('"') for k, v in labels.items()}
+    return {k: _unquote(v) for k, v in labels.items()}
 
 
 def labeled_snapshot(snapshot: dict, labels: dict) -> dict:

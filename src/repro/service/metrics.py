@@ -53,6 +53,10 @@ class ServiceMetrics:
             setattr(self, name, self.registry.counter(f"service_{name}{suffix}", help_text))
         self.connections_open = self.registry.gauge(
             "service_connections_open", "currently open TCP connections")
+        self.sessions_active = self.registry.gauge(
+            "service_sessions_active", "currently live sessions")
+        self.uptime_seconds = self.registry.gauge(
+            "service_uptime_seconds", "seconds since this server started")
         self.frame_latency = self.registry.histogram(
             "service_frame_latency_seconds",
             "wall time from frame decode to reply encode",
@@ -77,6 +81,11 @@ class ServiceMetrics:
         *adds* keys (``bytes_in``, ``bytes_out``, ``frame_latency``).
         """
         uptime = self.uptime()
+        # Keep the registry gauges current: snapshot() runs on every
+        # stats/metrics op, which includes every telemetry scrape, so
+        # the TSDB sees live values without a separate update path.
+        self.sessions_active.set(active_sessions)
+        self.uptime_seconds.set(round(uptime, 3))
         events_total = self.events_total.value
         payload = {
             "uptime_seconds": uptime,

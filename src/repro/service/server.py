@@ -41,6 +41,7 @@ from repro.core.profiler2d import ProfilerConfig, TwoDProfiler
 from repro.core.stats import TestThresholds
 from repro.errors import ExperimentError, ProtocolError, ServiceError
 from repro.obs import get_tracer
+from repro.obs.logs import log_event
 from repro.service import checkpoint as ckpt
 from repro.service import protocol
 from repro.service.metrics import ServiceMetrics
@@ -212,7 +213,9 @@ class ProfilingServer:
             sp.set("sessions", len(self._sessions))
             sp.set("checkpoints", written)
         self.metrics.drain_seconds.observe(time.perf_counter() - started)
-        log.info("drain: %d session checkpoint(s) written", written)
+        log_event(log, "server_drained", shard=self.shard_name,
+                  checkpoints=written,
+                  wall_s=round(time.perf_counter() - started, 4))
         self._shut_down()
         return written
 
@@ -253,7 +256,9 @@ class ProfilingServer:
                         sp.set("checkpointed", True)
                     self._drop_session(session)
                     self.metrics.sessions_evicted.inc()
-                log.info("evicted idle session %r after %.0fs", session.name, timeout)
+                log_event(log, "session_evicted", shard=self.shard_name,
+                          session=session.name, idle_s=timeout,
+                          events=session.events_received)
 
     def _drop_session(self, session: _Session) -> None:
         self._sessions.pop(session.name, None)
@@ -296,8 +301,10 @@ class ProfilingServer:
                 frame_type, payload = frame
                 self.metrics.bytes_in.inc(protocol.HEADER_BYTES + len(payload))
                 started = time.perf_counter()
-                with get_tracer().span("service.frame", cat="service",
-                                       frame=chr(frame_type)) as sp:
+                with get_tracer().span(
+                        "service.frame", cat="service",
+                        hot_path=frame_type == protocol.FRAME_EVENTS,
+                        frame=chr(frame_type)) as sp:
                     reply = self._dispatch(frame_type, payload)
                     sp.set("ok", bool(reply.get("ok")))
                 encoded = protocol.encode_control(reply)
@@ -404,6 +411,9 @@ class ProfilingServer:
                 self.metrics.sessions_resumed.inc()
             else:
                 self.metrics.sessions_opened.inc()
+            log_event(log, "session_opened", shard=self.shard_name,
+                      session=name, resumed=resumed,
+                      events=session.events_received)
         session.touch()
         return {
             "ok": True,
@@ -458,6 +468,9 @@ class ProfilingServer:
         if self.checkpoint_dir is not None:
             ckpt.delete_checkpoint(self.checkpoint_dir, session.name)
         self.metrics.sessions_closed.inc()
+        log_event(log, "session_closed", shard=self.shard_name,
+                  session=session.name, events=session.events_received,
+                  warehouse_run=warehouse_run)
         return {
             "ok": True,
             "op": "close",
@@ -509,8 +522,9 @@ class ProfilingServer:
 
             if not isinstance(exc, (StoreError, OSError, ValueError)):
                 raise
-            log.warning("warehouse ingest failed for session %r: %s",
-                        session.name, exc)
+            log_event(log, "warehouse_ingest_failed", level=logging.WARNING,
+                      shard=self.shard_name, session=session.name,
+                      error=str(exc))
             self.metrics.frames_rejected.inc()
             return None
         self.metrics.runs_ingested.inc()
@@ -538,12 +552,15 @@ class ProfilingServer:
         :func:`repro.obs.metrics.labeled_snapshot`), while ``stats`` keeps
         the summed legacy view cheap to build.
         """
+        # _stats_payload() refreshes the sessions_active/uptime gauges, so
+        # it must run before the snapshot is taken or scrapes lag a round.
+        stats = self._stats_payload()
         return {
             "ok": True,
             "op": "metrics",
             "shard": self.shard_name,
             "snapshot": self.metrics.registry.snapshot(),
-            "stats": self._stats_payload(),
+            "stats": stats,
         }
 
 
@@ -613,8 +630,14 @@ class ServerThread:
         self._thread.join(timeout=30)
 
 
-async def serve_until_signalled(server: ProfilingServer) -> None:
-    """Run ``server`` until SIGTERM/SIGINT, then drain gracefully."""
+async def serve_until_signalled(server: ProfilingServer,
+                                flight_recorder=None) -> None:
+    """Run ``server`` until SIGTERM/SIGINT, then drain gracefully.
+
+    With a :class:`~repro.obs.flightrec.FlightRecorder`, SIGUSR2 dumps
+    the tracer ring buffer — the fleet telemetry plane signals shards
+    this way when an alert fires, collecting per-process traces.
+    """
     import signal
 
     await server.start()
@@ -626,5 +649,10 @@ async def serve_until_signalled(server: ProfilingServer) -> None:
     for signum in (signal.SIGTERM, signal.SIGINT):
         with contextlib.suppress(NotImplementedError):  # pragma: no cover
             loop.add_signal_handler(signum, _drain)
+    if flight_recorder is not None and hasattr(signal, "SIGUSR2"):
+        with contextlib.suppress(NotImplementedError):  # pragma: no cover
+            loop.add_signal_handler(
+                signal.SIGUSR2,
+                lambda: flight_recorder.dump(reason="signal", force=True))
     print(f"listening on {server.host}:{server.port}", flush=True)
     await server.wait_stopped()

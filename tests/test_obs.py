@@ -225,6 +225,74 @@ class TestMetrics:
         registry.histogram("h").observe(0.2)
         json.dumps(registry.snapshot())  # must not raise
 
+    def test_prometheus_label_value_escaping(self):
+        registry = Registry()
+        registry.counter("odd_total").labels(
+            path='C:\\tmp', note='say "hi"', multi="a\nb").inc()
+        text = registry.render_prometheus()
+        assert r'path="C:\\tmp"' in text
+        assert r'note="say \"hi\""' in text
+        assert r'multi="a\nb"' in text
+        assert "\na\nb" not in text  # the newline never splits a line
+        # Snapshot keys stay unescaped so merge round-trips exactly.
+        snap = registry.snapshot()
+        labels = snap["odd_total"]["labels"]
+        (key,) = labels
+        assert 'C:\\tmp' in key and '\n' in key
+        target = Registry()
+        target.merge_snapshot(snap)
+        assert target.render_prometheus() == text
+
+    def test_prometheus_help_escaping(self):
+        registry = Registry()
+        registry.counter("x_total", "first line\nsecond \\ line").inc()
+        text = registry.render_prometheus()
+        assert r"# HELP x_total first line\nsecond \\ line" in text
+
+    def test_prometheus_escaped_histogram_labels(self):
+        registry = Registry()
+        registry.histogram("lat", buckets=(1.0,)).labels(
+            shard='s"0').observe(0.5)
+        text = registry.render_prometheus()
+        assert r'lat_bucket{shard="s\"0",le="1"} 1' in text
+        assert r'lat_sum{shard="s\"0"}' in text
+
+    def test_empty_histogram_percentiles_are_nan_and_snapshot_none(self):
+        registry = Registry()
+        hist = registry.histogram("empty_seconds", buckets=(0.1, 1.0))
+        assert math.isnan(hist.percentile(0.5))
+        assert math.isnan(hist.percentile(0.99))
+        entry = registry.snapshot()["empty_seconds"]
+        assert entry["count"] == 0
+        assert entry["p50"] is None and entry["p99"] is None
+        assert entry["min"] is None and entry["max"] is None
+        # Exposition still renders the (all-zero) cumulative buckets.
+        text = registry.render_prometheus()
+        assert 'empty_seconds_bucket{le="+Inf"} 0' in text
+        assert "empty_seconds_count 0" in text
+
+    def test_cross_process_gauge_merge_adopts_not_sums(self):
+        # merge_snapshot models "same process, newer state": the gauge
+        # adopts the incoming value (last write wins)...
+        target = Registry()
+        target.gauge("depth").set(3)
+        source = Registry()
+        source.gauge("depth").set(7)
+        target.merge_snapshot(source.snapshot())
+        assert target.gauge("depth").value == 7
+        # ...while the fleet's additive cross-shard merge must NOT sum
+        # point-in-time gauges from different processes: it drops them.
+        from repro.obs import merge_additive_snapshot
+
+        fleet = Registry()
+        fleet.counter("jobs_total").inc(1)
+        shard = Registry()
+        shard.counter("jobs_total").inc(2)
+        shard.gauge("depth").set(7)
+        merge_additive_snapshot(fleet, shard.snapshot())
+        assert fleet.counter("jobs_total").value == 3
+        assert "depth" not in fleet.snapshot()
+
 
 # ----------------------------------------------------------------------
 # ProcessPool spool round-trip
