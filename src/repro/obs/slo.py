@@ -192,14 +192,33 @@ class AlertManager:
         if last_seen is None:
             last_seen = self.tsdb.sources()
         firing: list = []
+        fired: list = []
+        resolved: list = []
         with self._lock:
             for rule in self.rules:
                 for source, value in self._measure(rule, now, shard_sources, last_seen):
                     breached = self._breached(rule, value)
-                    alert = self._transition(rule, source, value, breached, now)
+                    alert = self._transition(
+                        rule, source, value, breached, now, fired, resolved)
                     if alert is not None and alert.state == "firing":
                         firing.append(alert)
             self._mirror_to_tsdb(now)
+        # Callbacks run outside the lock: on_fire may dump a flight
+        # recording (seconds of I/O) and anything serving `active()` —
+        # the router event loop answering fleet_status — must not wait
+        # behind it.
+        for alert in fired:
+            self._emit("alert_fired", alert)
+            if self._fired is not None:
+                self._fired.labels(rule=alert.rule).inc()
+            if self.on_fire is not None:
+                self.on_fire(alert)
+        for alert in resolved:
+            self._emit("alert_resolved", alert)
+            if self._resolved is not None:
+                self._resolved.labels(rule=alert.rule).inc()
+            if self.on_resolve is not None:
+                self.on_resolve(alert)
         return firing
 
     def _measure(self, rule: SloRule, now: float, shard_sources: list,
@@ -235,7 +254,9 @@ class AlertManager:
         return _OPS[rule.op](value, rule.threshold)
 
     def _transition(self, rule: SloRule, source: str, value, breached: bool,
-                    now: float) -> Alert | None:
+                    now: float, fired: list, resolved: list) -> Alert | None:
+        """Advance one series' state; record transitions in ``fired`` /
+        ``resolved`` for the caller to announce after the lock drops."""
         key = (rule.name, source)
         state = self._state.setdefault(key, _SeriesState())
         if breached:
@@ -245,11 +266,7 @@ class AlertManager:
                 state.alert = Alert(
                     rule=rule.name, source=source, severity=rule.severity,
                     value=float(value), threshold=float(threshold), since=now)
-                self._emit("alert_fired", state.alert)
-                if self._fired is not None:
-                    self._fired.labels(rule=rule.name).inc()
-                if self.on_fire is not None:
-                    self.on_fire(state.alert)
+                fired.append(state.alert)
             elif state.alert is not None:
                 state.alert.value = float(value)
         else:
@@ -259,11 +276,7 @@ class AlertManager:
                 alert.state = "resolved"
                 alert.resolved_at = now
                 state.alert = None
-                self._emit("alert_resolved", alert)
-                if self._resolved is not None:
-                    self._resolved.labels(rule=rule.name).inc()
-                if self.on_resolve is not None:
-                    self.on_resolve(alert)
+                resolved.append(alert)
         return state.alert
 
     def _emit(self, event: str, alert: Alert) -> None:

@@ -116,7 +116,19 @@ class TelemetryScraper:
         specs = list(self.shard_map.shards) if self.shard_map is not None else []
         for spec in specs:
             reply = self._scrape_shard(spec)
-            if reply is None:
+            if reply is not None:
+                # A well-framed but malformed reply (no/invalid snapshot)
+                # is a miss for this shard only — it must not abort the
+                # round and starve the remaining shards or on_tick.
+                try:
+                    sample = self.tsdb.append(spec.name, reply["snapshot"], ts=now)
+                except (KeyError, TypeError, AttributeError):
+                    sample = None
+                    log.warning("malformed metrics reply from shard %s",
+                                spec.name)
+            else:
+                sample = None
+            if sample is None:
                 self.misses[spec.name] = self.misses.get(spec.name, 0) + 1
                 self._miss_counter.labels(source=spec.name).inc()
                 outcome[spec.name] = False
@@ -124,7 +136,6 @@ class TelemetryScraper:
             self.misses[spec.name] = 0
             self.last_seen[spec.name] = now
             self._scrapes.labels(source=spec.name).inc()
-            self.tsdb.append(spec.name, reply["snapshot"], ts=now)
             outcome[spec.name] = True
         for source, registry in self.local_registries.items():
             self.last_seen[source] = now
@@ -298,9 +309,22 @@ class FleetTelemetry:
             self.watchdog.check(self.scraper.misses, now=now)
 
     def _on_alert_fire(self, alert) -> None:
-        self.flight.dump(reason=f"alert:{alert.rule}:{alert.source}")
-        if self.supervisor is not None:
-            self._signal_shard_dumps()
+        # Dump in a short-lived thread: serializing up to a full ring of
+        # trace events is seconds of I/O, and the scrape cadence must not
+        # slip behind it.  FlightRecorder.dump is rate-limited under its
+        # own lock, so overlapping alerts coalesce safely.
+        threading.Thread(
+            target=self._dump_flight,
+            args=(f"alert:{alert.rule}:{alert.source}",),
+            name="flight-dump", daemon=True).start()
+
+    def _dump_flight(self, reason: str) -> None:
+        try:
+            self.flight.dump(reason=reason)
+            if self.supervisor is not None:
+                self._signal_shard_dumps()
+        except Exception:
+            log.exception("flight-recorder dump failed")
 
     def _signal_shard_dumps(self) -> None:
         """Ask every live shard to dump its own flight recorder."""
@@ -343,9 +367,12 @@ class FleetTelemetry:
     def status(self, now: float | None = None) -> dict:
         """The payload ``fleet_status`` merges in (JSON-safe)."""
         now = time.time() if now is None else now
+        # list()/dict() snapshots: the scraper thread inserts keys while
+        # the router event loop builds a fleet_status reply here, and a
+        # plain iteration can raise "dict changed size during iteration".
         scrape_age = {
             source: round(now - ts, 3)
-            for source, ts in self.scraper.last_seen.items()
+            for source, ts in list(self.scraper.last_seen.items())
         }
         payload = {
             "interval": self.scraper.interval,

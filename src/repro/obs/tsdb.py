@@ -235,9 +235,10 @@ class MetricTSDB:
         # floor starts at the max of wall clock and every timestamp already
         # on disk (a prior writer may have appended future/synthetic ts),
         # and pruning raises it.  Single writer per store assumed (the
-        # scraper owns it); read-only instances keep an empty buffer, so
-        # above-floor windows are correctly empty and everything else
-        # falls through to the disk scan.
+        # scraper owns it); read-only instances keep an empty buffer and
+        # therefore never take the fast path — every query they make
+        # falls through to the disk scan, where the writer's flushed
+        # lines are visible.
         self._tail: deque = deque()
         floor = time.time()
         for path in self._segment_paths():
@@ -356,9 +357,13 @@ class MetricTSDB:
         Windows that begin after ``_tail_floor`` are served from the
         in-memory tail buffer (everything in that range was appended
         through this instance), so the per-tick SLO/dashboard queries on
-        the writing process never re-read the segment files.
+        the writing process never re-read the segment files.  The fast
+        path only applies once this instance has actually appended — a
+        read-only instance (e.g. a live ``top`` watching another
+        process's store) has an empty buffer and must always scan disk,
+        where the writer's flushed lines keep appearing.
         """
-        if start is not None and start > self._tail_floor:
+        if start is not None and start > self._tail_floor and self._tail:
             with self._lock:
                 tail = list(self._tail)
             for sample in tail:

@@ -126,6 +126,27 @@ class TestMetricTSDB:
         assert tsdb.latest("x")[1] == 99
         tsdb.close()
 
+    def test_reader_instance_sees_live_writer_appends(self, tmp_path):
+        # A long-lived read-only instance (live `top` watching another
+        # process's store) never appends, so its tail buffer stays
+        # empty; recent-window queries must fall through to the disk
+        # scan and keep seeing the writer's flushed lines — not serve
+        # empty results from the tail fast path.
+        reader = MetricTSDB(tmp_path)
+        writer = MetricTSDB(tmp_path)
+        # Strictly above both instances' open-time tail floors, like
+        # wall-clock samples arriving after `top` has been up a while.
+        now = time.time() + 60.0
+        writer.append_flat("s0", {"c": 1}, ts=now)
+        writer.append_flat("s0", {"c": 11}, ts=now + 5.0)
+        assert reader.delta("c", window=10.0, now=now + 5.0) == pytest.approx(10)
+        assert [v for _ts, v in reader.range_query("c", start=now - 1.0)] == [1, 11]
+        assert reader.sources(window=10.0, now=now + 5.0) == {"s0": now + 5.0}
+        # The writer itself still answers the same window from its tail.
+        assert writer.delta("c", window=10.0, now=now + 5.0) == pytest.approx(10)
+        writer.close()
+        reader.close()
+
     def test_meta_roundtrip(self, tmp_path):
         with MetricTSDB(tmp_path) as tsdb:
             tsdb.set_meta(scrape_interval=0.5)
