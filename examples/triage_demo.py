@@ -1,0 +1,70 @@
+"""Regression triage from first alert to ranked culprit list.
+
+Seeds a profile warehouse with a known-good baseline run and a
+"regressed" run in which three branch sites pick up a mid-run accuracy
+level shift (the classic phase-change signature that flips the 2D
+STD/PAM tests), then walks the full triage pipeline:
+
+1. bisection — the minimal site subset whose substitution flips the
+   run-level classification back to the baseline verdict,
+2. a kill-and-resume demonstration: the search state survives losing
+   the process between evaluations,
+3. suspiciousness scoring — tarantula/ochiai over good-vs-bad low-slice
+   counts, fused with the delta in the 2D phase signal,
+4. the machine-readable ``triage_report.json`` artifact.
+
+Run:  python examples/triage_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.store import ProfileWarehouse, reclassify
+from repro.triage import BisectionEngine, seeded_run_pair, triage_runs
+
+REGRESSED = (3, 7, 11)
+
+
+def main():
+    tmp = tempfile.TemporaryDirectory(prefix="triage-demo-")
+    warehouse = ProfileWarehouse(Path(tmp.name) / "warehouse")
+    good_id, bad_id = seeded_run_pair(warehouse, regressed=REGRESSED)
+    good, bad = warehouse.open_run(good_id), warehouse.open_run(bad_id)
+
+    print("the regression as the classifier sees it:")
+    print(f"  good {good_id}: dependent = "
+          f"{reclassify(good)['input_dependent']}")
+    print(f"  bad  {bad_id}: dependent = "
+          f"{reclassify(bad)['input_dependent']}")
+
+    # 1. Bisection: which sites *cause* the verdict change?  Substituting
+    # only the minimal set's statistics from the good run flips the bad
+    # run's classification back.
+    state = Path(tmp.name) / "bisect_state.json"
+    engine = BisectionEngine(good, bad, state_path=state)
+    minimal = engine.minimal_flipping_set()
+    print(f"\nminimal flipping set: {minimal} "
+          f"(found in {engine.evals} hybrid evaluations, "
+          f"mode={engine._mode})")
+    assert minimal == sorted(REGRESSED)
+
+    # 2. Every evaluation was persisted atomically, so a process that
+    # dies mid-search resumes instead of restarting: a second engine
+    # replays the memoized decisions without recomputing anything.
+    replay = BisectionEngine(good, bad, state_path=state)
+    replay.minimal_flipping_set()
+    print(f"resumed engine: {replay.evals} fresh evaluations, "
+          f"{replay.cached_evals} replayed from state")
+    assert replay.evals == 0
+
+    # 3 + 4. The full report: bisection + per-site suspiciousness
+    # ranking + threshold flip points, rendered and archived as JSON.
+    report = triage_runs(warehouse, good, bad, thresholds_search=True)
+    print()
+    print(report.render(top_n=6))
+    out = report.write(Path(tmp.name) / "triage_report.json")
+    print(f"machine-readable report: {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -104,6 +104,21 @@ def classify_series(accuracies: np.ndarray, site_id: int = -1,
                         level_before, level_after, crossings)
 
 
+def classify_sites(series_by_site: dict[int, np.ndarray],
+                   flat_std: float = 0.02) -> dict[int, PhaseVerdict]:
+    """Classify loose per-site accuracy series (e.g. warehouse slabs).
+
+    The stored-run counterpart of :func:`classify_report`: the triage
+    engine feeds it :meth:`~repro.store.queries.StoredRun.site_series`
+    slices, so phase shapes come from committed data with no replay.
+    """
+    return {
+        site: classify_series(np.asarray(series, dtype=np.float64),
+                              site_id=site, flat_std=flat_std)
+        for site, series in sorted(series_by_site.items())
+    }
+
+
 def classify_report(report: TwoDReport, sites=None,
                     flat_std: float = 0.02) -> dict[int, PhaseVerdict]:
     """Classify every (or the given) profiled branch of a keep-series run."""

@@ -490,6 +490,8 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
             rules=load_rules(args.rules) if args.rules else None,
             scrape_interval=args.scrape_interval,
             watchdog=not args.no_watchdog,
+            warehouse_dir=args.warehouse_dir,
+            triage_min_interval=args.triage_min_interval,
         )
     router = FleetRouter(
         shard_map,
@@ -647,18 +649,24 @@ def _cmd_top(args: argparse.Namespace) -> int:
 def _cmd_logs(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.obs.logs import format_record, read_logs
+    from repro.obs.logs import format_record, parse_since, read_logs
 
     root = Path(args.path) if args.path else _telemetry_root(None) / "logs"
     if not root.exists():
         print(f"no logs at {root}", file=sys.stderr)
         return 1
+    try:
+        since = parse_since(args.since) if args.since is not None else None
+    except ValueError:
+        print(f"bad --since value {args.since!r} "
+              f"(want epoch seconds or 30s/5m/2h/1d)", file=sys.stderr)
+        return 2
     records = list(read_logs(
         root,
         event=args.event,
         level=args.level,
         trace_id=args.trace_id,
-        since=args.since,
+        since=since,
         grep=args.grep,
     ))
     if args.tail is not None:
@@ -797,9 +805,38 @@ def _cmd_db_compact(args: argparse.Namespace) -> int:
 
 def _cmd_db_gc(args: argparse.Namespace) -> int:
     warehouse = _open_store(args)
-    stats = warehouse.gc(purge_corrupt=args.purge_corrupt)
-    print(f"gc: removed {stats.segments_removed} segment dir(s), "
-          f"{stats.tmp_files_removed} tmp file(s), purged {stats.runs_purged} run(s)")
+    stats = warehouse.gc(purge_corrupt=args.purge_corrupt,
+                         dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    purged = "would purge" if args.dry_run else "purged"
+    print(f"gc: {verb} {stats.segments_removed} segment dir(s), "
+          f"{stats.tmp_files_removed} tmp file(s), {purged} "
+          f"{stats.runs_purged} run(s)")
+    return 0
+
+
+def _cmd_db_bisect(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.triage import triage_runs
+
+    warehouse = _open_store(args)
+    state_path = (Path(args.state) if args.state
+                  else Path(warehouse.root) / "triage"
+                  / f"bisect_{args.good}_{args.bad}.json")
+    report = triage_runs(
+        warehouse, args.good, args.bad,
+        std_th=args.std_th, pam_th=args.pam_th,
+        state_path=state_path,
+        thresholds_search=args.thresholds,
+    )
+    if args.report:
+        path = report.write(args.report)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render(top_n=args.top))
     return 0
 
 
@@ -936,6 +973,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "alerts, watchdog, or flight recorder)")
     p.add_argument("--no-watchdog", action="store_true",
                    help="scrape and alert but never auto-restart shards")
+    p.add_argument("--triage-min-interval", type=float, default=60.0,
+                   help="min seconds between alert-driven triage reports "
+                        "(default 60; needs --warehouse-dir)")
     add_obs(p)
     p.set_defaults(func=_cmd_fleet_serve)
 
@@ -1006,8 +1046,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="minimum level (DEBUG/INFO/WARNING/ERROR)")
     p.add_argument("--trace-id", default=None,
                    help="keep only records from this trace")
-    p.add_argument("--since", type=float, default=None, metavar="TS",
-                   help="keep records at/after this UNIX timestamp")
+    p.add_argument("--since", default=None, metavar="TS|DUR",
+                   help="keep records at/after this UNIX timestamp, or "
+                        "within a relative duration (30s/5m/2h/1d)")
     p.add_argument("--grep", default=None,
                    help="substring filter over the rendered message")
     p.add_argument("--tail", type=int, default=None, metavar="N",
@@ -1110,9 +1151,33 @@ def build_parser() -> argparse.ArgumentParser:
     p = db.add_parser("gc", help="sweep unreferenced segments and tmp litter")
     p.add_argument("--purge-corrupt", action="store_true",
                    help="also drop committed runs whose segment data is damaged")
+    p.add_argument("--dry-run", action="store_true",
+                   help="print what would be deleted; delete nothing")
     add_store(p)
     add_obs(p)
     p.set_defaults(func=_cmd_db_gc)
+
+    p = db.add_parser(
+        "bisect",
+        help="triage a regression between a good and a bad stored run")
+    p.add_argument("good", help="run id of the known-good baseline run")
+    p.add_argument("bad", help="run id of the regressed run")
+    p.add_argument("--state", default=None, metavar="FILE",
+                   help="resumable bisection state "
+                        "(default <store>/triage/bisect_<good>_<bad>.json)")
+    p.add_argument("--report", default=None, metavar="FILE",
+                   help="also write the machine-readable triage_report.json")
+    p.add_argument("--thresholds", action="store_true",
+                   help="also search --std-th/--pam-th space for per-site "
+                        "verdict flip points")
+    p.add_argument("--top", type=int, default=10,
+                   help="suspiciousness rows to print (default 10)")
+    p.add_argument("--json", action="store_true",
+                   help="print the JSON report instead of the table")
+    add_store(p)
+    add_thresholds(p)
+    add_obs(p)
+    p.set_defaults(func=_cmd_db_bisect)
 
     p = sub.add_parser("whatif", help="predication policy comparison (profile train, run ref)")
     p.add_argument("workloads", nargs="*", default=["gzipish", "gapish", "vortexish"])

@@ -67,6 +67,10 @@ class StoreError(ReproError):
     """Profile-warehouse failure (manifest, segment, or query)."""
 
 
+class TriageError(ReproError):
+    """Regression-triage failure (bisection precondition or state)."""
+
+
 class ServiceError(ReproError):
     """Streaming-service failure (session, checkpoint, or transport)."""
 

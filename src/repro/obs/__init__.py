@@ -25,6 +25,7 @@ See ``docs/observability.md`` for the operator's view (``--trace``,
 """
 
 from repro.obs.metrics import (  # noqa: F401
+    COUNT_BUCKETS,
     DEFAULT_BUCKETS,
     Counter,
     Gauge,
@@ -38,6 +39,7 @@ from repro.obs.metrics import (  # noqa: F401
 from repro.obs.tracing import Tracer, configure, get_tracer  # noqa: F401
 
 __all__ = [
+    "COUNT_BUCKETS",
     "DEFAULT_BUCKETS",
     "Counter",
     "Gauge",

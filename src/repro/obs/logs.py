@@ -117,6 +117,30 @@ def configure_logging(
 
 # -- querying ------------------------------------------------------------
 
+#: Suffix multipliers for relative ``--since``/``--until`` durations.
+_DURATION_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def parse_since(text: str, now: float | None = None) -> float:
+    """An absolute epoch timestamp from ``--since``/``--until`` input.
+
+    Accepts either an epoch-seconds float (``1717171717.5`` — the only
+    form the flag used to take) or a relative duration ``<number><unit>``
+    with unit ``s``/``m``/``h``/``d`` (``5m``, ``2h``, ``90s``, ``1.5h``),
+    meaning "that long before ``now``".
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("empty duration")
+    unit = _DURATION_UNITS.get(text[-1].lower())
+    if unit is None:
+        return float(text)
+    magnitude = float(text[:-1])
+    if magnitude < 0:
+        raise ValueError(f"negative duration: {text!r}")
+    now = time.time() if now is None else now
+    return now - magnitude * unit
+
 
 def _log_files(root: str | Path) -> list[Path]:
     root = Path(root)

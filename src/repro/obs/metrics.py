@@ -32,6 +32,13 @@ DEFAULT_BUCKETS = (
     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
 )
 
+#: Count-shaped buckets (1 .. 1000) for histograms over discrete sizes —
+#: bisection steps, candidate-set sizes — where latency buckets would put
+#: every sample in +Inf.
+COUNT_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+)
+
 
 def _label_key(labels: dict) -> tuple:
     return tuple(sorted(labels.items()))

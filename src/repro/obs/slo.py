@@ -63,6 +63,9 @@ class SloRule:
     for_ticks: int = 1
     severity: str = "page"
     description: str = ""
+    #: Whether firing should trigger a warehouse triage report (when the
+    #: telemetry plane has a warehouse with a baseline/current run pair).
+    triage: bool = True
 
     def __post_init__(self):
         if self.kind not in _KINDS:

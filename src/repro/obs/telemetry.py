@@ -18,7 +18,11 @@ every action as counters and structured log events.
 :class:`FleetTelemetry` assembles the whole plane for ``fleet serve``:
 TSDB + scraper + :class:`~repro.obs.slo.AlertManager` + watchdog +
 :class:`~repro.obs.flightrec.FlightRecorder`, with a ``status()``
-payload the router splices into ``fleet_status`` replies.
+payload the router splices into ``fleet_status`` replies.  With a
+profile warehouse attached (``warehouse_dir``), a firing alert also
+kicks off a regression triage pass (:mod:`repro.triage`) in its own
+short-lived thread, dropping ``triage_report.json`` next to the flight
+recordings — the full alert → *which branch sites* loop.
 """
 
 from __future__ import annotations
@@ -275,6 +279,9 @@ class FleetTelemetry:
         watchdog: bool = True,
         flight_dir: str | Path | None = None,
         registry: Registry | None = None,
+        warehouse_dir: str | Path | None = None,
+        triage_dir: str | Path | None = None,
+        triage_min_interval: float = 60.0,
     ):
         self.root = Path(root)
         self.registry = registry if registry is not None else Registry()
@@ -298,6 +305,18 @@ class FleetTelemetry:
             self.tsdb, shard_map=shard_map, local_registries=locals_,
             interval=scrape_interval, registry=self.registry,
             on_tick=self._on_tick)
+        #: Alert-driven triage: with a warehouse attached, a firing rule
+        #: (whose ``triage`` flag is set) produces a triage report next
+        #: to the flight recordings.
+        self.warehouse_dir = Path(warehouse_dir) if warehouse_dir else None
+        self.triage_dir = Path(triage_dir) if triage_dir \
+            else self.root / "triage"
+        self.triage_min_interval = triage_min_interval
+        self.triage_reports = 0
+        self.last_triage: dict | None = None
+        self._triage_lock = threading.Lock()
+        self._last_triage_at = 0.0
+        self._rules_by_name = {rule.name: rule for rule in self.rules}
 
     # -- scrape-tick plumbing ---------------------------------------------
 
@@ -317,6 +336,16 @@ class FleetTelemetry:
             target=self._dump_flight,
             args=(f"alert:{alert.rule}:{alert.source}",),
             name="flight-dump", daemon=True).start()
+        rule = self._rules_by_name.get(alert.rule)
+        if (self.warehouse_dir is not None
+                and (rule is None or rule.triage)):
+            # Same reasoning as the flight dump: a bisection is seconds
+            # of CPU and must not ride the scrape/alert cadence (or the
+            # router event loop answering fleet_status behind it).
+            threading.Thread(
+                target=self._run_triage,
+                args=(f"alert:{alert.rule}:{alert.source}",),
+                name="triage", daemon=True).start()
 
     def _dump_flight(self, reason: str) -> None:
         try:
@@ -339,6 +368,92 @@ class FleetTelemetry:
                     process.proc.send_signal(signum)
                 except OSError:
                     log.debug("could not signal shard %s for a flight dump", name)
+
+    # -- alert-driven triage ----------------------------------------------
+
+    def _run_triage(self, reason: str) -> None:
+        try:
+            self.triage_now(reason)
+        except Exception:
+            log.exception("alert-driven triage failed")
+
+    def _select_run_pair(self, warehouse):
+        """(good, bad) = the two newest runs of the newest run's group.
+
+        Grouping is by (workload, predictor): the latest committed run is
+        the regression suspect, the previous run of the same group its
+        baseline.  Returns ``None`` when no such pair exists.
+        """
+        runs = warehouse.runs()
+        if not runs:
+            return None
+        latest = runs[-1]
+        group = [rec for rec in runs
+                 if (rec.workload, rec.predictor)
+                 == (latest.workload, latest.predictor)]
+        if len(group) < 2:
+            return None
+        return group[-2], group[-1]
+
+    def triage_now(self, reason: str = "manual") -> dict | None:
+        """Produce one triage report from the attached warehouse.
+
+        Synchronous (the alert path wraps it in a daemon thread); rate
+        limited to one report per ``triage_min_interval`` seconds so an
+        alert storm cannot stack bisections.  Returns the report dict,
+        or ``None`` when skipped (no warehouse, no run pair, rate
+        limit).  Never raises on missing data — triage is best-effort
+        diagnostics, not a liveness dependency.
+        """
+        from repro.store import ProfileWarehouse
+        from repro.triage import triage_runs
+
+        skipped = self.registry.counter(
+            "triage_skipped_total", "alert-driven triage passes skipped")
+        if self.warehouse_dir is None:
+            skipped.labels(reason="no_warehouse").inc()
+            return None
+        with self._triage_lock:
+            now = time.time()
+            if now - self._last_triage_at < self.triage_min_interval:
+                skipped.labels(reason="rate_limited").inc()
+                return None
+            self._last_triage_at = now
+        try:
+            warehouse = ProfileWarehouse(self.warehouse_dir, create=False)
+            pair = self._select_run_pair(warehouse)
+            if pair is None:
+                skipped.labels(reason="no_run_pair").inc()
+                log_event(log, "triage_skipped", reason=reason,
+                          cause="no baseline/current run pair")
+                return None
+            good, bad = pair
+            report = triage_runs(
+                warehouse, good.run_id, bad.run_id,
+                state_path=self.triage_dir / "bisect_state.json",
+                meta={"trigger": reason, "ts": now})
+            path = report.write(self.triage_dir / "triage_report.json")
+            stamped = self.triage_dir / f"triage_{int(now)}.json"
+            report.write(stamped)
+        except Exception as exc:
+            skipped.labels(reason="error").inc()
+            log_event(log, "triage_failed", level=logging.ERROR,
+                      reason=reason, error=str(exc))
+            return None
+        self.triage_reports += 1
+        self.last_triage = {
+            "reason": reason, "ts": now, "path": str(path),
+            "good": report.good_run, "bad": report.bad_run,
+            "minimal_set": report.bisect["minimal_set"],
+        }
+        self.registry.counter(
+            "triage_alert_reports_total",
+            "triage reports produced by the alert hook").inc()
+        log_event(log, "triage_report_written", reason=reason,
+                  path=str(path), good=report.good_run, bad=report.bad_run,
+                  minimal=len(report.bisect["minimal_set"]),
+                  evals=report.bisect["evals"])
+        return report.to_dict()
 
     # -- lifecycle --------------------------------------------------------
 
@@ -384,4 +499,9 @@ class FleetTelemetry:
         }
         if self.watchdog is not None:
             payload["watchdog_restarts"] = dict(self.watchdog.restarts)
+        if self.warehouse_dir is not None:
+            payload["triage"] = {
+                "reports": self.triage_reports,
+                "last": self.last_triage,
+            }
         return payload

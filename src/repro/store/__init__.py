@@ -30,6 +30,7 @@ from repro.store.layout import (
 from repro.store.manifest import Manifest, load_manifest, save_manifest
 from repro.store.queries import (
     StoredRun,
+    WindowCounts,
     diff_runs,
     fold_slice_values,
     join_runs,
@@ -48,6 +49,7 @@ __all__ = [
     "load_manifest",
     "save_manifest",
     "StoredRun",
+    "WindowCounts",
     "diff_runs",
     "fold_slice_values",
     "join_runs",

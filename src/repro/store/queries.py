@@ -16,11 +16,16 @@ ever replayed.  Four query families:
   the live pipeline uses, so labels match bit-for-bit.
 * **Cross-predictor joins** — :func:`join_runs` aligns two runs of the
   same (workload, input) under different predictors per branch.
+* **Windowed observation counts** — :meth:`StoredRun.window_counts`
+  extracts per-site good/bad slice-observation counters over a slice
+  window, the raw material of the triage engine's statistical
+  suspiciousness scores (:mod:`repro.triage.suspicion`).
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -94,6 +99,24 @@ def fold_slice_values(values, use_fir: bool, fir_cold_start: bool) -> BranchSlic
     )
 
 
+@dataclass(frozen=True)
+class WindowCounts:
+    """Per-site observation counters over one slice window.
+
+    The stored-run analogue of statistical fault localization's pass/fail
+    coverage frequencies: ``total[site]`` counts the site's qualifying
+    slices inside the window, ``low[site]`` the subset whose raw accuracy
+    fell below ``line``.  :mod:`repro.triage.suspicion` combines a good
+    run's and a bad run's counters into tarantula/ochiai scores.
+    """
+
+    total: np.ndarray
+    low: np.ndarray
+    line: float
+    lo_slice: int
+    hi_slice: int
+
+
 class StoredRun:
     """Query handle over one committed run (validated memmap views)."""
 
@@ -162,6 +185,44 @@ class StoredRun:
                 f"run {self.record.run_id} was stored without per-site counts"
             )
         return self.reader.run_counts(self.record)
+
+    def window_counts(
+        self,
+        lo_slice: int = 0,
+        hi_slice: int | None = None,
+        low_line: float | None = None,
+    ) -> "WindowCounts":
+        """Per-site observation counters over a slice window.
+
+        Each qualifying slice of a branch is one *observation*; an
+        observation whose raw accuracy fell below ``low_line`` (default:
+        the run's overall accuracy) is a *low* observation.  Restricting
+        to ``[lo_slice, hi_slice)`` lets callers score only the window an
+        alert or a phase change points at.  These counters are what
+        tarantula/ochiai-style suspiciousness scoring consumes — the
+        stored-run analogue of good/bad coverage frequencies in
+        statistical fault localization.
+        """
+        record = self.record
+        hi = record.n_slices if hi_slice is None else int(hi_slice)
+        lo = int(lo_slice)
+        line = record.overall_accuracy if low_line is None else float(low_line)
+        with timed_query("window_counts", run=record.run_id, lo=lo, hi=hi):
+            indptr = np.asarray(self.reader.run_indptr(record))
+            start = record.entry_start
+            stop = record.entry_start + record.entry_count
+            slice_idx = np.asarray(self.reader.array("slice")[start:stop])
+            acc = np.asarray(self.reader.array("acc")[start:stop])
+            sites = np.repeat(
+                np.arange(record.num_sites), np.diff(indptr - indptr[0]))
+            in_window = (slice_idx >= lo) & (slice_idx < hi)
+            total = np.bincount(
+                sites[in_window], minlength=record.num_sites).astype(np.int64)
+            low = np.bincount(
+                sites[in_window & (acc < line)],
+                minlength=record.num_sites).astype(np.int64)
+            return WindowCounts(total=total, low=low, line=line,
+                                lo_slice=lo, hi_slice=hi)
 
     def as_simulation(self) -> SimulationResult:
         """A counts-only :class:`SimulationResult` view for truth queries."""

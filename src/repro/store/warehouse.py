@@ -280,41 +280,54 @@ class ProfileWarehouse:
     # Maintenance
     # ------------------------------------------------------------------
 
-    def gc(self, purge_corrupt: bool = False) -> GcStats:
+    def gc(self, purge_corrupt: bool = False, dry_run: bool = False) -> GcStats:
         """Sweep crash leftovers: unreferenced segment dirs and tmp files.
 
         With ``purge_corrupt``, committed runs whose segment data fails
         validation are also dropped from the manifest (their segments are
-        then unreferenced and removed on the same pass).  Like
-        :func:`repro.cachefs.sweep_tmp_files`, gc assumes no ingest is
-        concurrently mid-commit.
+        then unreferenced and removed on the same pass).  With
+        ``dry_run``, nothing is deleted and the manifest is untouched —
+        the returned :class:`GcStats` counts what a real pass *would*
+        remove (a test pins that a dry run leaves the manifest
+        byte-identical).  Like :func:`repro.cachefs.sweep_tmp_files`, gc
+        assumes no ingest is concurrently mid-commit.
         """
         stats = GcStats()
-        with get_tracer().span("store.gc", cat="store"):
+        with get_tracer().span("store.gc", cat="store", dry_run=dry_run):
+            manifest = self.manifest()
+            live = set(manifest.segments)
             if purge_corrupt:
                 corrupt = set(self.check())
-                if corrupt:
+                if corrupt and dry_run:
+                    stats.runs_purged = len(corrupt & set(manifest.runs))
+                    live = {rec.segment for run_id, rec in manifest.runs.items()
+                            if run_id not in corrupt}
+                elif corrupt:
                     with manifest_commit(self.manifest_path) as manifest:
                         for run_id in corrupt:
                             if run_id in manifest.runs:
                                 del manifest.runs[run_id]
                                 stats.runs_purged += 1
                         self._drop_orphan_segments(manifest)
-            manifest = self.manifest()
-            live = set(manifest.segments)
+                    manifest = self.manifest()
+                    live = set(manifest.segments)
             for path in sorted(self.segments_root.iterdir() if self.segments_root.is_dir() else []):
                 if path.name.endswith(TMP_SUFFIX) or (path.is_file() and TMP_SUFFIX in path.name):
-                    path.unlink(missing_ok=True)
+                    if not dry_run:
+                        path.unlink(missing_ok=True)
                     stats.tmp_files_removed += 1
                 elif path.is_dir() and path.name not in live:
-                    for leftover in path.iterdir():
-                        leftover.unlink(missing_ok=True)
-                    path.rmdir()
+                    if not dry_run:
+                        for leftover in path.iterdir():
+                            leftover.unlink(missing_ok=True)
+                        path.rmdir()
                     stats.segments_removed += 1
             for leftover in self.root.glob(f"*{TMP_SUFFIX}"):
-                leftover.unlink(missing_ok=True)
+                if not dry_run:
+                    leftover.unlink(missing_ok=True)
                 stats.tmp_files_removed += 1
-        if stats.segments_removed or stats.tmp_files_removed or stats.runs_purged:
+        if not dry_run and (
+                stats.segments_removed or stats.tmp_files_removed or stats.runs_purged):
             log.info("store gc: removed %d segment dir(s), %d tmp file(s), "
                      "purged %d run(s)", stats.segments_removed,
                      stats.tmp_files_removed, stats.runs_purged)

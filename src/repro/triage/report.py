@@ -1,0 +1,139 @@
+"""The triage report: one JSON artifact + one human-readable rendering.
+
+A :class:`TriageReport` bundles everything one regression investigation
+produced — the bisection's minimal flipping site set, the ranked
+suspiciousness table, optional per-site threshold flip points — keyed by
+the two runs it compared.  ``write()`` publishes ``triage_report.json``
+with :func:`repro.cachefs.atomic_write_bytes`, so a half-written report
+can never be mistaken for a finished one (the same all-or-nothing rule
+every other warehouse artifact follows).
+
+``render()`` is deliberately free of wall-clock data — timings live only
+in ``meta`` — so the rendered table is byte-stable across machines and
+across a kill/resume cycle, which is what the CI golden diff pins.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.tables import format_table
+from repro.cachefs import atomic_write_bytes
+
+#: Schema version of the ``triage_report.json`` artifact.
+REPORT_VERSION = 1
+
+#: Suspicion rows shown by ``render()``; the JSON always has them all.
+RENDER_TOP_N = 10
+
+
+@dataclass
+class TriageReport:
+    """Everything one good/bad triage run concluded."""
+
+    good_run: str
+    bad_run: str
+    workload: str
+    predictor: str
+    good_input: str
+    bad_input: str
+    bisect: dict
+    suspicion: list[dict]
+    #: Machine/run-local context (wall times, state path, trigger);
+    #: excluded from ``render()`` so rendered reports diff clean.
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": REPORT_VERSION,
+            "good_run": self.good_run,
+            "bad_run": self.bad_run,
+            "workload": self.workload,
+            "predictor": self.predictor,
+            "good_input": self.good_input,
+            "bad_input": self.bad_input,
+            "bisect": self.bisect,
+            "suspicion": self.suspicion,
+            "meta": self.meta,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        atomic_write_bytes(path, (self.to_json() + "\n").encode("utf-8"))
+        return path
+
+    # -- human-readable ------------------------------------------------
+
+    def render(self, top_n: int = RENDER_TOP_N) -> str:
+        """Deterministic plain-text report (no timestamps, no wall times)."""
+        bisect = dict(self.bisect)
+        bisect.pop("wall_seconds", None)
+        gained = sorted(set(bisect["base_bad"]) - set(bisect["base_good"]))
+        lost = sorted(set(bisect["base_good"]) - set(bisect["base_bad"]))
+        lines = [
+            f"triage: {self.workload}/{self.predictor} "
+            f"good={self.good_run}({self.good_input}) "
+            f"bad={self.bad_run}({self.bad_input})",
+            f"verdict delta: +{len(gained)} newly dependent {gained}, "
+            f"-{len(lost)} no longer dependent {lost}",
+            f"minimal flipping set: {bisect['minimal_set']} "
+            f"(verified={bisect['verified']}, mode={bisect['mode']}, "
+            f"candidates={bisect['candidates']})",
+        ]
+        flips = bisect.get("threshold_flips")
+        if flips:
+            flip_rows = [
+                [site, _fmt(entry.get("std_th")), _fmt(entry.get("pam_th"))]
+                for site, entry in sorted(flips.items(), key=lambda kv: int(kv[0]))
+            ]
+            lines.append(format_table(
+                ["site", "std_th flip", "pam_th flip"], flip_rows,
+                title="threshold flip points (bad run)"))
+        headers = ["site", "score", "ochiai", "tarantula", "bad low/total",
+                   "good low/total", "d_mean", "d_std", "d_pam",
+                   "shape good>bad", "dep good>bad"]
+        body = []
+        for row in self.suspicion[:top_n]:
+            body.append([
+                str(row["site"]),
+                f"{row['score']:.3f}",
+                f"{row['ochiai']:.3f}",
+                f"{row['tarantula']:.3f}",
+                f"{row['bad_low']}/{row['bad_total']}",
+                f"{row['good_low']}/{row['good_total']}",
+                f"{row['d_mean']:+.4f}",
+                f"{row['d_std']:+.4f}",
+                f"{row['d_pam']:+.4f}",
+                f"{row['shape_good']}>{row['shape_bad']}",
+                f"{_yn(row['dependent_good'])}>{_yn(row['dependent_bad'])}",
+            ])
+        lines.append(format_table(
+            headers, body,
+            title=f"suspiciousness (top {min(top_n, len(self.suspicion))} "
+                  f"of {len(self.suspicion)})"))
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    return "-" if value is None else f"{value:.4f}"
+
+
+def _yn(flag: bool) -> str:
+    return "y" if flag else "n"
+
+
+def load_report(path: str | Path) -> TriageReport:
+    """Read a ``triage_report.json`` back into a :class:`TriageReport`."""
+    doc = json.loads(Path(path).read_text("utf-8"))
+    return TriageReport(
+        good_run=doc["good_run"], bad_run=doc["bad_run"],
+        workload=doc["workload"], predictor=doc["predictor"],
+        good_input=doc["good_input"], bad_input=doc["bad_input"],
+        bisect=doc["bisect"], suspicion=doc["suspicion"],
+        meta=doc.get("meta", {}),
+    )

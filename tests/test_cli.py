@@ -1,5 +1,7 @@
 """Tests for the command-line driver."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -254,6 +256,59 @@ class TestDbCommands:
         code, out = run_cli(capsys, "db", "query", "--store", store)
         assert code == 0
         assert "2 run(s), 1 segment(s)" in out
+
+    def test_gc_dry_run_previews_without_deleting(self, capsys, store):
+        from pathlib import Path
+
+        self._ingest(capsys, store)
+        orphan = Path(store) / "segments" / "seg-dead"
+        orphan.mkdir()
+        (orphan / "acc.npy").write_bytes(b"partial")
+
+        code, out = run_cli(capsys, "db", "gc", "--dry-run", "--store", store)
+        assert code == 0
+        assert "would remove" in out
+        assert orphan.exists()
+
+        code, out = run_cli(capsys, "db", "gc", "--store", store)
+        assert code == 0
+        assert "would remove" not in out
+        assert not orphan.exists()
+
+    def test_bisect_reports_the_regression(self, capsys, store):
+        from repro.store import ProfileWarehouse
+        from repro.triage import seeded_run_pair
+
+        warehouse = ProfileWarehouse(store)
+        good_id, bad_id = seeded_run_pair(warehouse, regressed=(3, 7, 11))
+
+        code, out = run_cli(capsys, "db", "bisect", good_id, bad_id,
+                            "--store", store)
+        assert code == 0
+        assert "[3, 7, 11]" in out
+        assert "suspiciousness" in out.lower()
+
+        # The JSON form carries the same verdict, machine readable.
+        code, out = run_cli(capsys, "db", "bisect", good_id, bad_id,
+                            "--json", "--store", store)
+        doc = json.loads(out)
+        assert code == 0
+        assert doc["bisect"]["minimal_set"] == [3, 7, 11]
+        assert doc["bisect"]["verified"] is True
+        assert doc["bisect"]["resumed"] is True  # state survived run one
+
+    def test_bisect_report_artifact(self, capsys, store, tmp_path):
+        from repro.store import ProfileWarehouse
+        from repro.triage import load_report, seeded_run_pair
+
+        warehouse = ProfileWarehouse(store)
+        good_id, bad_id = seeded_run_pair(warehouse, regressed=(5,))
+        out_path = tmp_path / "report.json"
+        code, _out = run_cli(capsys, "db", "bisect", good_id, bad_id,
+                             "--report", str(out_path), "--store", store)
+        assert code == 0
+        report = load_report(out_path)
+        assert report.bisect["minimal_set"] == [5]
 
     def test_join_runs(self, capsys, store):
         self._ingest(capsys, store)

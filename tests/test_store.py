@@ -238,6 +238,39 @@ class TestQueries:
             assert flipped[row["site"]]["agree"] == row["agree"]
 
 
+class TestWindowCounts:
+    def test_full_window_covers_every_observation(self, stocked):
+        warehouse, ids = stocked
+        run = warehouse.open_run(ids["train"])
+        counts = run.window_counts()
+        assert int(counts.total.sum()) == run.record.entry_count
+        assert counts.line == run.record.overall_accuracy
+        for site in sorted(run.profiled_sites())[:25]:
+            slices, _acc = run.site_series(site)
+            assert counts.total[site] == len(slices)
+
+    def test_low_is_bounded_and_line_sensitive(self, stocked):
+        warehouse, ids = stocked
+        run = warehouse.open_run(ids["train"])
+        counts = run.window_counts()
+        assert np.all(counts.low <= counts.total)
+        floor = run.window_counts(low_line=0.0)
+        assert int(floor.low.sum()) == 0
+        ceiling = run.window_counts(low_line=2.0)
+        assert np.array_equal(ceiling.low, ceiling.total)
+
+    def test_windows_partition_additively(self, stocked):
+        warehouse, ids = stocked
+        run = warehouse.open_run(ids["train"])
+        mid = run.record.n_slices // 2
+        whole = run.window_counts()
+        first = run.window_counts(0, mid)
+        second = run.window_counts(mid, run.record.n_slices)
+        assert np.array_equal(first.total + second.total, whole.total)
+        assert np.array_equal(first.low + second.low, whole.low)
+        assert (first.lo_slice, first.hi_slice) == (0, mid)
+
+
 @pytest.fixture(scope="module")
 def module_store(tmp_path_factory, artifacts):
     """A module-lifetime store for the Hypothesis property (one ingest)."""
@@ -331,6 +364,36 @@ class TestMaintenance:
         assert stats.segments_removed == 1
         assert [rec.run_id for rec in warehouse.runs()] == [ids["train"]]
         assert warehouse.check() == []
+
+    def test_gc_dry_run_reports_without_touching_anything(self, stocked):
+        """--dry-run counts what a sweep would do; disk stays untouched."""
+        warehouse, ids = stocked
+        orphan = warehouse.segments_root / "seg-dead"
+        orphan.mkdir()
+        (orphan / "acc.npy").write_bytes(b"partial")
+        litter = warehouse.segments_root / ("x.npy.123" + ".tmp")
+        litter.write_bytes(b"partial")
+        record = warehouse.manifest().runs[ids["ref"]]
+        acc = warehouse.segments_root / record.segment / "acc.npy"
+        acc.write_bytes(acc.read_bytes()[:16])
+
+        manifest_path = warehouse.manifest_path
+        before = manifest_path.read_bytes()
+        stats = warehouse.gc(purge_corrupt=True, dry_run=True)
+
+        # orphan dir + the would-be-purged run's segment; one tmp file.
+        assert stats.segments_removed == 2
+        assert stats.tmp_files_removed == 1
+        assert stats.runs_purged == 1
+        assert manifest_path.read_bytes() == before, (
+            "dry run must leave the manifest byte-identical")
+        assert orphan.exists() and litter.exists()
+        assert set(warehouse.manifest().runs) == set(ids.values())
+
+        # The real sweep afterwards does exactly what the dry run promised.
+        real = warehouse.gc(purge_corrupt=True)
+        assert (real.segments_removed, real.tmp_files_removed,
+                real.runs_purged) == (2, 1, 1)
 
 
 # ----------------------------------------------------------------------

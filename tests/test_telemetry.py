@@ -505,6 +505,139 @@ class TestStructuredLogs:
         assert "alert_fired" in line and "rule=shard_down" in line
         assert "WARNI" in line
 
+    def test_parse_since_epoch_passthrough(self):
+        from repro.obs.logs import parse_since
+
+        assert parse_since("1717171717.5") == 1717171717.5
+        assert parse_since(" 42 ") == 42.0
+
+    def test_parse_since_relative_durations(self):
+        from repro.obs.logs import parse_since
+
+        now = 10_000.0
+        assert parse_since("30s", now=now) == now - 30.0
+        assert parse_since("5m", now=now) == now - 300.0
+        assert parse_since("2h", now=now) == now - 7200.0
+        assert parse_since("1d", now=now) == now - 86400.0
+        assert parse_since("1.5H", now=now) == now - 5400.0
+        assert parse_since("0m", now=now) == now
+
+    def test_parse_since_rejects_garbage(self):
+        from repro.obs.logs import parse_since
+
+        for bad in ("", "  ", "5x", "m", "-5m", "five minutes"):
+            with pytest.raises(ValueError):
+                parse_since(bad)
+
+
+# ----------------------------------------------------------------------
+# Alert-driven triage
+# ----------------------------------------------------------------------
+
+
+class TestAlertDrivenTriage:
+    REGRESSED = (3, 7, 11)
+
+    def _stocked_warehouse(self, tmp_path):
+        from repro.store import ProfileWarehouse
+        from repro.triage import seeded_run_pair
+
+        warehouse = ProfileWarehouse(tmp_path / "wh")
+        seeded_run_pair(warehouse, regressed=self.REGRESSED)
+        return warehouse
+
+    def _telemetry(self, tmp_path, **kwargs):
+        from repro.obs.telemetry import FleetTelemetry
+
+        kwargs.setdefault("watchdog", False)
+        return FleetTelemetry(tmp_path / "telemetry", **kwargs)
+
+    @staticmethod
+    def _alert(rule="shard_down", source="s1"):
+        from repro.obs.slo import Alert
+
+        return Alert(rule=rule, source=source, severity="page",
+                     value=math.inf, threshold=2.0)
+
+    def test_alert_fire_writes_triage_report(self, tmp_path):
+        from repro.triage import load_report
+
+        warehouse = self._stocked_warehouse(tmp_path)
+        tel = self._telemetry(tmp_path, warehouse_dir=warehouse.root,
+                              triage_min_interval=0.0)
+        try:
+            tel._on_alert_fire(self._alert())
+            path = tel.triage_dir / "triage_report.json"
+            deadline = time.time() + 30
+            while not path.exists() and time.time() < deadline:
+                time.sleep(0.05)
+            assert path.exists(), "alert never produced a triage report"
+            # The writer thread publishes atomically, so an existing file
+            # is always complete.
+            report = load_report(path)
+            assert report.bisect["minimal_set"] == sorted(self.REGRESSED)
+            assert report.meta["trigger"] == "alert:shard_down:s1"
+            deadline = time.time() + 10
+            while tel.triage_reports == 0 and time.time() < deadline:
+                time.sleep(0.05)
+            assert tel.triage_reports == 1
+            assert tel.last_triage["minimal_set"] == sorted(self.REGRESSED)
+            status = tel.status()
+            assert status["triage"]["reports"] == 1
+            # A dated copy rides along for alert-storm archaeology.
+            assert list(tel.triage_dir.glob("triage_1*.json"))
+        finally:
+            tel.tsdb.close()
+
+    def test_rule_triage_flag_gates_the_hook(self, tmp_path):
+        from repro.obs.slo import SloRule
+
+        warehouse = self._stocked_warehouse(tmp_path)
+        rules = [SloRule(name="shard_down", kind="absent", window=2.0,
+                         triage=False)]
+        tel = self._telemetry(tmp_path, warehouse_dir=warehouse.root,
+                              rules=rules, triage_min_interval=0.0)
+        try:
+            tel._on_alert_fire(self._alert())
+            time.sleep(0.3)
+            assert not (tel.triage_dir / "triage_report.json").exists()
+            assert tel.triage_reports == 0
+        finally:
+            tel.tsdb.close()
+
+    def test_triage_now_skips_cleanly(self, tmp_path):
+        from repro.store import ProfileWarehouse
+
+        # No warehouse attached.
+        tel = self._telemetry(tmp_path / "a")
+        try:
+            assert tel.triage_now() is None
+            assert "triage" not in tel.status()
+        finally:
+            tel.tsdb.close()
+        # A warehouse without a baseline/current pair.
+        lonely = ProfileWarehouse(tmp_path / "b" / "wh")
+        tel = self._telemetry(tmp_path / "b", warehouse_dir=lonely.root,
+                              triage_min_interval=0.0)
+        try:
+            assert tel.triage_now() is None
+            assert tel.triage_reports == 0
+        finally:
+            tel.tsdb.close()
+
+    def test_triage_rate_limit(self, tmp_path):
+        warehouse = self._stocked_warehouse(tmp_path)
+        tel = self._telemetry(tmp_path, warehouse_dir=warehouse.root,
+                              triage_min_interval=3600.0)
+        try:
+            first = tel.triage_now()
+            assert first is not None
+            assert first["bisect"]["minimal_set"] == sorted(self.REGRESSED)
+            assert tel.triage_now() is None, "rate limit must hold"
+            assert tel.triage_reports == 1
+        finally:
+            tel.tsdb.close()
+
 
 # ----------------------------------------------------------------------
 # Dashboard (top)
@@ -594,6 +727,36 @@ class TestDashboard:
         code = cli.main(["logs", str(log_dir), "--tail", "1", "--json"])
         doc = json.loads(capsys.readouterr().out)
         assert code == 0 and doc["event"] == "alert_fired"
+
+    def test_logs_cli_since_accepts_relative_durations(self, tmp_path, capsys):
+        from repro import cli
+
+        log_dir = tmp_path / "logs"
+        log_dir.mkdir()
+        now = time.time()
+        (log_dir / "s0.jsonl").write_text(
+            f'{{"ts": {now - 3600.0}, "level": "info", "logger": "repro", '
+            '"event": "old_event"}\n'
+            f'{{"ts": {now - 10.0}, "level": "info", "logger": "repro", '
+            '"event": "fresh_event"}\n')
+        code = cli.main(["logs", str(log_dir), "--since", "5m"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fresh_event" in out and "old_event" not in out
+        # Absolute epoch timestamps keep working.
+        code = cli.main(["logs", str(log_dir), "--since", str(now - 7200.0)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fresh_event" in out and "old_event" in out
+
+    def test_logs_cli_rejects_bad_since(self, tmp_path, capsys):
+        from repro import cli
+
+        log_dir = tmp_path / "logs"
+        log_dir.mkdir()
+        assert cli.main(["logs", str(log_dir), "--since", "yesterday"]) == 2
+        err = capsys.readouterr().err
+        assert "yesterday" in err
 
 
 # ----------------------------------------------------------------------
