@@ -1,0 +1,134 @@
+"""Lockstep batch VM vs the serial loop on an input population (PR 10).
+
+Not a paper exhibit — the perf guard for the batch VM.  One convergent
+workload (gapish: tight arithmetic loops, little lane divergence) is run
+across a seeded input population both ways: N serial ``capture_trace``
+calls and one ``BatchMachine.run_lanes`` batch.  Both sides must agree
+bit for bit — instructions, sites, outcomes, lane for lane — and the
+acceptance floor is aggregate branch-event throughput at >= 3x the
+serial loop on the full population.
+
+The lane-scaling table records how the SIMT advantage grows with the
+population (shared fetch/decode is amortized over more lanes), and the
+shatter row documents the known anti-case: a recursion-heavy workload
+(craftyish-style control flow) fragments the warp and the batch VM loses
+to the serial loop — which is why ``capture_traces`` is a dispatch
+layer, not a replacement.
+
+``REPRO_BENCH_BATCH_LANES`` (default 256) sizes the population and
+``REPRO_BENCH_BATCH_SCALE`` (default 0.06) the inputs.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.sweep import PopulationSpec, generate_population
+from repro.trace.capture import capture_trace, capture_traces
+from repro.vm.batch import BatchMachine, plan_program
+from repro.workloads import get_workload
+
+_LANES = int(os.environ.get("REPRO_BENCH_BATCH_LANES", "256"))
+_SCALE = float(os.environ.get("REPRO_BENCH_BATCH_SCALE", "0.06"))
+
+#: Filled by bench_batchvm_throughput, rendered by the summary bench.
+_ROWS: list[tuple] = []
+
+
+def _population(workload: str, lanes: int) -> list:
+    spec = PopulationSpec(workload=workload, base_input="ref",
+                          size=lanes, seed=11, scale=_SCALE)
+    return generate_population(spec)
+
+
+def bench_batchvm_throughput(archive, bench_extras):
+    """Serial loop vs batch VM on the full gapish population."""
+    workload = get_workload("gapish")
+    program = workload.program()
+    assert plan_program(program).eligible
+    input_sets = _population("gapish", _LANES)
+
+    serial_seconds = []
+    serial_traces = []
+    for input_set in input_sets:
+        start = time.perf_counter()
+        serial_traces.append(capture_trace(program, input_set))
+        serial_seconds.append(time.perf_counter() - start)
+    events = sum(len(t) for t in serial_traces)
+
+    for lanes in sorted({min(32, _LANES), min(64, _LANES),
+                         min(128, _LANES), _LANES}):
+        start = time.perf_counter()
+        batch = BatchMachine(program).run_lanes(input_sets[:lanes], mode="trace")
+        batch_seconds = time.perf_counter() - start
+        assert not batch.fallback_lanes and not any(batch.errors)
+        lane_events = sum(len(t) for t in serial_traces[:lanes])
+        lane_serial = sum(serial_seconds[:lanes])
+        _ROWS.append(("gapish", lanes, lane_events, lane_serial, batch_seconds,
+                      lane_serial / batch_seconds))
+        if lanes == _LANES:
+            # The speedup only counts if the answer is the same answer.
+            for result, want in zip(batch.results, serial_traces):
+                assert result.instructions == want.instructions
+                got = np.asarray(result.packed_trace)
+                np.testing.assert_array_equal(got % 2, want.outcomes)
+                np.testing.assert_array_equal(got // 2, want.sites)
+
+    _, lanes, _, ref_s, vec_s, speedup = _ROWS[-1]
+    bench_extras.update({
+        "workload": "gapish",
+        "lanes": lanes,
+        "scale": _SCALE,
+        "events": events,
+        "serial_seconds": round(sum(serial_seconds), 6),
+        "batch_seconds": round(vec_s, 6),
+        "speedup": round(speedup, 2),
+        "batch_events_per_second": round(events / vec_s, 1),
+        "lane_scaling": {str(r[1]): round(r[5], 2) for r in _ROWS},
+    })
+    assert speedup >= 3.0, (
+        f"acceptance floor: batch VM >= 3x serial on {lanes} lanes, "
+        f"got {speedup:.2f}x")
+
+
+def bench_batchvm_shatter_case(bench_extras):
+    """The anti-case on the record: divergent control flow loses."""
+    workload = get_workload("parserish")
+    program = workload.program()
+    input_sets = _population("parserish", 8)
+
+    start = time.perf_counter()
+    serial = [capture_trace(program, s) for s in input_sets]
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = capture_traces(program, input_sets)
+    batch_seconds = time.perf_counter() - start
+    for got, want in zip(batch, serial):
+        assert got.instructions == want.instructions
+        np.testing.assert_array_equal(got.outcomes, want.outcomes)
+
+    ratio = serial_seconds / batch_seconds
+    _ROWS.append(("parserish", 8, sum(len(t) for t in serial),
+                  serial_seconds, batch_seconds, ratio))
+    bench_extras.update({
+        "workload": "parserish",
+        "lanes": 8,
+        "speedup": round(ratio, 2),
+    })
+
+
+def bench_batchvm_summary(archive, bench_extras):
+    assert _ROWS, "run the throughput benches first"
+    lines = [f"Batch VM vs serial capture loop (scale {_SCALE:g})",
+             f"{'workload':10s} {'lanes':>5s} {'events':>9s} {'serial s':>9s} "
+             f"{'batch s':>8s} {'speedup':>8s}"]
+    for workload, lanes, events, ref_s, vec_s, speedup in _ROWS:
+        lines.append(f"{workload:10s} {lanes:5d} {events:9d} {ref_s:9.3f} "
+                     f"{vec_s:8.3f} {speedup:7.2f}x")
+    archive("batchvm_throughput", "\n".join(lines))
+    bench_extras.update({
+        "rows": [{"workload": w, "lanes": n, "speedup": round(s, 2)}
+                 for w, n, _, _, _, s in _ROWS],
+    })

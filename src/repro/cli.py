@@ -17,6 +17,9 @@ Subcommands map to the paper's experiments::
     repro-2dprof db ingest gzipish          # profile + store in the warehouse
     repro-2dprof db diff r000001 r000002    # ground truth from stored runs
     repro-2dprof db reclassify r000001 --std-th 0.06   # threshold what-if
+    repro-2dprof sweep run gapish --size 16 # batch-VM input-population sweep
+    repro-2dprof sweep report sweep:gapish:ref~0x16@s1   # verdict stability
+    repro-2dprof db bisect --population sweep:gapish:ref~0x16@s1  # input triage
 
 Observability: most subcommands accept ``--trace FILE`` (write a Chrome/
 Perfetto trace of the run) and ``--metrics-json FILE`` (dump the metrics
@@ -32,7 +35,7 @@ import sys
 from repro.core.experiment import ExperimentRunner, SuiteConfig, default_cache_dir
 from repro.core.profiler2d import ProfilerConfig
 from repro.core.stats import TestThresholds
-from repro.errors import StoreError
+from repro.errors import ExperimentError, StoreError
 from repro.obs import get_registry, get_tracer
 from repro.analysis import tables
 from repro.analysis.overhead import measure_overheads
@@ -821,11 +824,33 @@ def _cmd_db_bisect(args: argparse.Namespace) -> int:
     from repro.triage import triage_runs
 
     warehouse = _open_store(args)
+    good, bad = args.good, args.bad
+    if args.population:
+        if good is not None or bad is not None:
+            print("error: give either GOOD BAD run ids or --population, not both",
+                  file=sys.stderr)
+            return 2
+        from repro.sweep import population_report_from_store
+
+        population = population_report_from_store(
+            warehouse, args.population, std_th=args.std_th, pam_th=args.pam_th)
+        conforming, deviant = population.extremes()
+        good, bad = conforming.run_id, deviant.run_id
+        print(f"population {args.population}: seeding bisection from its extremes\n"
+              f"  good={good} ({conforming.input_name}, {conforming.flips} "
+              f"consensus flips)\n"
+              f"  bad={bad} ({deviant.input_name}, {deviant.flips} "
+              f"consensus flips)",
+              file=sys.stderr)
+    elif good is None or bad is None:
+        print("error: db bisect needs GOOD and BAD run ids (or --population TAG)",
+              file=sys.stderr)
+        return 2
     state_path = (Path(args.state) if args.state
                   else Path(warehouse.root) / "triage"
-                  / f"bisect_{args.good}_{args.bad}.json")
+                  / f"bisect_{good}_{bad}.json")
     report = triage_runs(
-        warehouse, args.good, args.bad,
+        warehouse, good, bad,
         std_th=args.std_th, pam_th=args.pam_th,
         state_path=state_path,
         thresholds_search=args.thresholds,
@@ -837,6 +862,50 @@ def _cmd_db_bisect(args: argparse.Namespace) -> int:
         print(report.to_json())
     else:
         print(report.render(top_n=args.top))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Input-population sweep subcommands
+# ----------------------------------------------------------------------
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    from repro.sweep import PopulationSpec, population_report, run_sweep
+
+    spec = PopulationSpec(
+        workload=args.workload,
+        base_input=args.input,
+        size=args.size,
+        seed=args.seed,
+        scale=args.scale,
+    )
+    warehouse = None if args.no_store else _open_store(args, create=True)
+    result = run_sweep(spec, predictor=args.predictor, warehouse=warehouse)
+    for lane in result.lanes:
+        print(f"{lane.run_id or '-':8s} {spec.workload}/{lane.input_name} "
+              f"{args.predictor} events={lane.events} "
+              f"instructions={lane.instructions}")
+    print(f"population {spec.tag}: {spec.size} lane(s), "
+          f"{result.total_events} events in {result.elapsed_seconds:.2f}s")
+    if args.summary:
+        print(population_report(result).render(top=args.top))
+    return 0
+
+
+def _cmd_sweep_report(args: argparse.Namespace) -> int:
+    from repro.sweep import population_report_from_store
+
+    warehouse = _open_store(args)
+    report = population_report_from_store(
+        warehouse, args.population, std_th=args.std_th, pam_th=args.pam_th)
+    if args.out:
+        path = report.write(args.out)
+        print(f"wrote {path}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.to_json(), sort_keys=True))
+    else:
+        print(report.render(top=args.top))
     return 0
 
 
@@ -1160,8 +1229,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = db.add_parser(
         "bisect",
         help="triage a regression between a good and a bad stored run")
-    p.add_argument("good", help="run id of the known-good baseline run")
-    p.add_argument("bad", help="run id of the regressed run")
+    p.add_argument("good", nargs="?", default=None,
+                   help="run id of the known-good baseline run")
+    p.add_argument("bad", nargs="?", default=None,
+                   help="run id of the regressed run")
+    p.add_argument("--population", default=None, metavar="TAG",
+                   help="seed GOOD/BAD from a stored sweep population's "
+                        "most/least consensus-conforming lanes")
     p.add_argument("--state", default=None, metavar="FILE",
                    help="resumable bisection state "
                         "(default <store>/triage/bisect_<good>_<bad>.json)")
@@ -1178,6 +1252,46 @@ def build_parser() -> argparse.ArgumentParser:
     add_thresholds(p)
     add_obs(p)
     p.set_defaults(func=_cmd_db_bisect)
+
+    p = sub.add_parser("sweep", help="input-population sweeps on the batch VM")
+    sweep = p.add_subparsers(dest="sweep_command", required=True)
+
+    p = sweep.add_parser(
+        "run",
+        help="profile a seeded input population and store every lane")
+    p.add_argument("workload")
+    p.add_argument("--input", default="ref",
+                   help="base input the population is grown from (default ref)")
+    p.add_argument("--size", type=int, default=16,
+                   help="population size / batch-VM lane count (default 16)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="population seed (default 0)")
+    p.add_argument("--predictor", default="gshare")
+    p.add_argument("--no-store", action="store_true",
+                   help="profile only; skip warehouse ingestion")
+    p.add_argument("--summary", action="store_true",
+                   help="also print the verdict-stability summary")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows in the --summary tables (default 10)")
+    add_store(p)
+    add_obs(p)
+    p.set_defaults(func=_cmd_sweep_run)
+
+    p = sweep.add_parser(
+        "report",
+        help="verdict stability of a stored population across its lanes")
+    p.add_argument("population", metavar="TAG",
+                   help="population tag printed by `sweep run`")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="also write the machine-readable population report")
+    p.add_argument("--json", action="store_true",
+                   help="print the JSON report instead of the table")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows in the contested-site/lane tables (default 10)")
+    add_store(p)
+    add_thresholds(p)
+    add_obs(p)
+    p.set_defaults(func=_cmd_sweep_report)
 
     p = sub.add_parser("whatif", help="predication policy comparison (profile train, run ref)")
     p.add_argument("workloads", nargs="*", default=["gzipish", "gapish", "vortexish"])
@@ -1205,7 +1319,7 @@ def main(argv: list[str] | None = None) -> int:
     except BrokenPipeError:
         # Output was piped into a pager/head that closed early; not an error.
         return 0
-    except StoreError as exc:
+    except (StoreError, ExperimentError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     finally:

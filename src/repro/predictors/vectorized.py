@@ -371,15 +371,35 @@ def _replay_tournament(predictor: Tournament, sites: np.ndarray, outcomes: np.nd
     return np.where(choice_before >= 2, global_pred, simple_pred).astype(np.uint8)
 
 
+#: Above this average events-per-entry density, the per-segment loop
+#: kernel beats the flat all-segments pass (long segments amortize its
+#: per-segment numpy overhead and stay cache-resident).
+_LOOP_SEGMENT_DENSITY = 1536
+
+
 def _replay_loop(predictor: LoopPredictor, sites: np.ndarray, outcomes: np.ndarray) -> np.ndarray:
     n = int(sites.size)
+    if n == 0:
+        return np.ones(0, dtype=np.uint8)
     keys = sites.astype(np.int64) % predictor.num_entries
     order = np.argsort(keys, kind="stable")
     key_sorted = keys[order]
-    out_sorted = outcomes[order].astype(np.int64)
+    stream = outcomes[order].astype(np.int64)
+    starts, stops = _segments(key_sorted)
+    if n >= _LOOP_SEGMENT_DENSITY * int(starts.size):
+        return _replay_loop_segments(predictor, order, key_sorted, stream,
+                                     starts, stops)
+    return _replay_loop_flat(predictor, order, key_sorted, stream,
+                             starts, stops)
+
+
+def _replay_loop_segments(predictor: LoopPredictor, order: np.ndarray,
+                          key_sorted: np.ndarray, out_sorted: np.ndarray,
+                          starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+    """Per-entry kernel: one vectorized run-length decode per segment."""
+    n = int(key_sorted.size)
     threshold = predictor.confidence_threshold
     predictions = np.ones(n, dtype=np.uint8)
-    starts, stops = _segments(key_sorted)
     for begin, end in zip(starts.tolist(), stops.tolist()):
         entry = predictor.entries[int(key_sorted[begin])]
         stream = out_sorted[begin:end]
@@ -444,6 +464,122 @@ def _replay_loop(predictor: LoopPredictor, sites: np.ndarray, outcomes: np.ndarr
             entry.count = int(m - 1 - zero_positions[-1])
         else:
             entry.count += m
+    return predictions
+
+
+def _replay_loop_flat(predictor: LoopPredictor, order: np.ndarray,
+                      key_sorted: np.ndarray, stream: np.ndarray,
+                      starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+    """Flat kernel: one run-length decode over ALL segments at once.
+
+    Same math as :func:`_replay_loop_segments` but with every scan done
+    globally; each accumulate is allowed to leak across segment
+    boundaries because a leaked value is always detectable (it falls
+    below the segment's own base) and is replaced by the entry's seeded
+    carry-in state.  Wins when the table shatters the trace into many
+    short segments, where the per-segment kernel drowns in numpy call
+    overhead (and can fall behind even the scalar reference loop).
+    """
+    n = int(key_sorted.size)
+    threshold = predictor.confidence_threshold
+    num_segs = int(starts.size)
+
+    entries = predictor.entries
+    touched = key_sorted[starts]
+    seed_trip = np.array([entries[k].trip for k in touched.tolist()], dtype=np.int64)
+    seed_conf = np.array(
+        [entries[k].confidence for k in touched.tolist()], dtype=np.int64)
+    seed_count = np.array([entries[k].count for k in touched.tolist()], dtype=np.int64)
+
+    seg_len = stops - starts
+    seg_id = np.repeat(np.arange(num_segs, dtype=np.int64), seg_len)
+    seg_start = starts[seg_id]
+    gpos = np.arange(n, dtype=np.int64)
+    local_pos = gpos - seg_start
+
+    # Run-length decode, one pass over ALL segments at once: a "run" is a
+    # maximal span of taken outcomes closed by one not-taken exit.  A
+    # plain global maximum-accumulate of the exit positions leaks across
+    # segment boundaries, but a leaked value is always < the segment's
+    # start, so "no exit yet in this segment" is just `last_zero <
+    # seg_start` — no per-segment reset needed.
+    is_zero = stream == 0
+    gmarks = np.where(is_zero, gpos, np.int64(-1))
+    last_zero = np.empty(n, dtype=np.int64)
+    last_zero[0] = -1
+    if n > 1:
+        np.maximum.accumulate(gmarks[:-1], out=last_zero[1:])
+    fresh = last_zero < seg_start  # no completed run yet in this segment
+    count_before = np.where(
+        fresh, local_pos + seed_count[seg_id], gpos - last_zero - 1)
+
+    # Exclusive zero-count prefix sums double as global run indices: the
+    # value at a segment's start is the segment's run-index base.
+    zcum = np.cumsum(is_zero)
+    zcum_excl = zcum - is_zero
+    run_base = zcum_excl[starts]
+    runs_before = zcum_excl - run_base[seg_id]
+
+    zero_pos = np.nonzero(is_zero)[0]
+    num_runs = int(zero_pos.size)
+    if num_runs:
+        # The trained trip after any completed run is always that run's
+        # length (on a match it already equals the trip), and confidence
+        # is the saturating streak of equal consecutive run lengths —
+        # with each entry's carried trip/confidence seeding its
+        # segment's first comparison.  The mismatch accumulate uses the
+        # same boundary-leak trick as the exit scan above.
+        run_lengths = count_before[zero_pos]
+        zseg = seg_id[zero_pos]
+        first_run = np.empty(num_runs, dtype=bool)
+        first_run[0] = True
+        first_run[1:] = zseg[1:] != zseg[:-1]
+        prev_lengths = np.empty(num_runs, dtype=np.int64)
+        prev_lengths[0] = 0
+        prev_lengths[1:] = run_lengths[:-1]
+        previous_trip = np.where(first_run, seed_trip[zseg], prev_lengths)
+        equal = run_lengths == previous_trip
+        grun = np.arange(num_runs, dtype=np.int64)
+        zbase = run_base[zseg]
+        mismatch = np.where(~equal, grun, np.int64(-1))
+        last_mismatch = np.maximum.accumulate(mismatch)
+        seen_mismatch = last_mismatch >= zbase
+        streak = np.where(
+            seen_mismatch,
+            grun - last_mismatch,
+            grun - zbase + 1 + seed_conf[zseg],
+        )
+        confidence_after = np.where(equal, np.minimum(15, streak), 0)
+
+        prior = run_base[seg_id] + np.maximum(runs_before - 1, 0)
+        np.minimum(prior, num_runs - 1, out=prior)  # masked when runs_before == 0
+        no_run_yet = runs_before == 0
+        trip_before = np.where(no_run_yet, seed_trip[seg_id], run_lengths[prior])
+        confidence_before = np.where(
+            no_run_yet, seed_conf[seg_id], confidence_after[prior])
+    else:
+        trip_before = seed_trip[seg_id]
+        confidence_before = seed_conf[seg_id]
+
+    confident = (confidence_before >= threshold) & (trip_before > 0)
+    predicted = np.where(
+        confident, (count_before < trip_before).astype(np.uint8), np.uint8(1))
+    predictions = np.ones(n, dtype=np.uint8)
+    predictions[order] = predicted
+
+    last_exit = np.maximum.accumulate(gmarks)[stops - 1]
+    trained = last_exit >= starts
+    final_run = zcum[stops - 1] - 1  # last global run index of each segment
+    final_count = np.where(trained, stops - 1 - last_exit, seg_len)
+    for seg in range(num_segs):
+        entry = entries[int(touched[seg])]
+        if trained[seg]:
+            run = int(final_run[seg])
+            entry.trip = int(run_lengths[run])
+            entry.confidence = int(confidence_after[run])
+            entry.count = int(final_count[seg])
+        else:
+            entry.count += int(final_count[seg])
     return predictions
 
 

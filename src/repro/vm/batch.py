@@ -1,0 +1,1279 @@
+"""Lockstep struct-of-arrays batch VM: one program, N input sets at once.
+
+The serial interpreter in :mod:`repro.vm.machine` retires one guest
+instruction per Python bytecode round trip.  Pricing an input *population*
+that way costs N full runs.  This module executes the same program across
+N lanes simultaneously, SIMT style: every active lane shares one control
+path (scalar pc / sp / fp and a single call stack) while data lives in
+numpy struct-of-arrays state (2D stacks, locals memory, a per-lane bump
+heap for arrays).  Divergence is handled with a classic reconvergence
+stack: when a conditional branch splits the warp, the minority side parks
+in a divergence entry and the majority runs ahead to the branch's
+immediate post-dominator (computed statically per branch), where the
+sides re-merge.  Branches whose only common post-dominator is function
+exit reconverge at ``RET`` instead: subgroups park as they return and the
+merged warp executes a single shared return once every lane has arrived.
+
+Exactness contract
+------------------
+Per-lane results — packed branch trace, output, return value, instruction
+and branch counts, and fault *messages* — are bit-identical to N serial
+:meth:`Machine.run` calls.  Two mechanisms guarantee this:
+
+* a static **eligibility verifier** (:func:`plan_program`): an abstract
+  interpretation over an INT/ARR type lattice with an inter-function
+  fixpoint.  Programs whose value flow cannot be proven safe for the
+  int64 array encoding (type-confused slots, ``len()`` of a scalar,
+  arithmetic on array references, oversized literals) are *ineligible*
+  and run on the serial VM instead — preserving their exact error
+  semantics rather than approximating them;
+* dynamic **overflow bailouts**: guest integers are unbounded Python
+  ints in the serial VM but int64 lanes here, so every operation that
+  can exceed 63 bits (ADD/SUB/MUL/SHL/NEG/abs, INT64_MIN corner cases
+  of DIV) carries an exact overflow check.  A lane that would overflow
+  is withdrawn from the batch and reported in
+  :attr:`BatchResult.fallback_lanes` so the caller re-runs just that
+  lane serially.
+
+The differential harness in ``tests/test_batchvm.py`` and the CI
+``batchvm-smoke`` job pin the contract across every shipped workload;
+``REPRO_REQUIRE_BATCH_VM`` (see :mod:`repro.trace.capture`) makes silent
+program-level fallbacks a hard error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bytecode.opcodes import Opcode
+from repro.bytecode.program import Program
+from repro.errors import FuelExhausted, VMRuntimeError
+from repro.obs import get_registry, get_tracer
+from repro.vm.inputs import InputSet
+from repro.vm.machine import DEFAULT_FUEL, RunResult
+
+_INT64_MIN = -(1 << 63)
+#: Literal / input magnitude bound: values this large leave no headroom
+#: for the dynamic overflow checks, so the program (or lane) falls back.
+_MAG_LIMIT = 1 << 62
+
+# Abstract value lattice for the eligibility verifier.
+_INT = 0
+_ARR = 1
+
+_C = Opcode  # short alias for the tables below
+
+# Opcodes with the uniform (INT, INT) -> INT effect.
+_BINOP_INT = frozenset(int(o) for o in (
+    _C.ADD, _C.SUB, _C.MUL, _C.DIV, _C.MOD, _C.AND, _C.OR, _C.XOR,
+    _C.SHL, _C.SHR, _C.EQ, _C.NE, _C.LT, _C.LE, _C.GT, _C.GE,
+))
+_UNOP_INT = frozenset(int(o) for o in (_C.NEG, _C.NOT, _C.BNOT))
+
+
+class BatchFallback(Exception):
+    """Raised internally when a batch cannot (or may not) run vectorized.
+
+    Carries a human-readable reason; callers fall back to the serial VM.
+    """
+
+
+@dataclass
+class BatchPlan:
+    """Static verification result for one program (cached on the program)."""
+
+    eligible: bool
+    reason: str = ""
+    #: Per-function inferred parameter types (tuples over _INT/_ARR).
+    param_types: list = field(default_factory=list)
+    #: Per-function return type (_INT/_ARR).
+    ret_types: list = field(default_factory=list)
+    #: Per-function maximum operand-stack depth relative to function entry.
+    max_depth: list = field(default_factory=list)
+    #: Per-function ``(fi, pc) -> entry stack depth`` (diagnostics only).
+    depth_at: dict = field(default_factory=dict)
+    #: Per-function ``{branch pc -> reconvergence pc}`` where the value is
+    #: the branch's immediate post-dominator, or -1 when control only
+    #: rejoins at function exit.
+    br_join: list = field(default_factory=list)
+
+
+def _type_name(t: int) -> str:
+    return "array" if t == _ARR else "int"
+
+
+class _Ineligible(Exception):
+    pass
+
+
+def _analyze_function(program: Program, fi: int, param_types, ret_types, gtypes):
+    """Abstract interpretation of one function body.
+
+    Returns ``(ret_type_or_None, max_depth, depth_at, call_sigs)`` where
+    ``call_sigs`` is a list of ``(callee_index, arg_type_tuple)``.
+    Raises :class:`_Ineligible` when the function cannot be proven safe.
+    """
+    fn = program.functions[fi]
+    ops, argl = fn.ops, fn.args
+    entry_locals = tuple(param_types[fi]) + (_INT,) * (fn.num_locals - fn.num_params)
+    if len(entry_locals) != fn.num_locals:
+        raise _Ineligible(f"{fn.name}: more params than locals")
+    states = {0: ((), entry_locals)}
+    work = [0]
+    max_depth = 0
+    call_sigs = []
+    ret_ty = None
+
+    def flow(pc2, st2, loc2):
+        prev = states.get(pc2)
+        if prev is None:
+            states[pc2] = (st2, loc2)
+            work.append(pc2)
+        elif prev != (st2, loc2):
+            raise _Ineligible(
+                f"{fn.name}@{pc2}: inconsistent stack/locals typing at merge")
+
+    while work:
+        pc = work.pop()
+        st, loc = states[pc]
+        if pc >= len(ops):
+            raise _Ineligible(f"{fn.name}: control falls off the end")
+        op = ops[pc]
+        arg = argl[pc]
+        depth = len(st)
+        if depth > max_depth:
+            max_depth = depth
+
+        def pop(want=None):
+            nonlocal st
+            if not st:
+                raise _Ineligible(f"{fn.name}@{pc}: stack underflow")
+            t = st[-1]
+            st = st[:-1]
+            if want is not None and t != want:
+                raise _Ineligible(
+                    f"{fn.name}@{pc}: expected {_type_name(want)}, got {_type_name(t)}")
+            return t
+
+        if op == _C.CONST:
+            if abs(arg) >= _MAG_LIMIT:
+                raise _Ineligible(f"{fn.name}@{pc}: literal {arg} too large for int64 lanes")
+            flow(pc + 1, st + (_INT,), loc)
+        elif op == _C.LOAD_LOCAL:
+            flow(pc + 1, st + (loc[arg],), loc)
+        elif op == _C.STORE_LOCAL:
+            t = pop()
+            loc2 = loc[:arg] + (t,) + loc[arg + 1:]
+            flow(pc + 1, st, loc2)
+        elif op == _C.LOAD_GLOBAL:
+            flow(pc + 1, st + (gtypes[arg],), loc)
+        elif op == _C.STORE_GLOBAL:
+            t = pop()
+            if t != gtypes[arg]:
+                raise _Ineligible(
+                    f"{fn.name}@{pc}: storing {_type_name(t)} into "
+                    f"{_type_name(gtypes[arg])} global")
+            flow(pc + 1, st, loc)
+        elif op == _C.LOAD_INDEX:
+            pop(_INT)
+            pop(_ARR)
+            flow(pc + 1, st + (_INT,), loc)
+        elif op == _C.STORE_INDEX:
+            pop(_INT)
+            pop(_INT)
+            pop(_ARR)
+            flow(pc + 1, st, loc)
+        elif op == _C.NEW_ARRAY:
+            pop(_INT)
+            flow(pc + 1, st + (_ARR,), loc)
+        elif op == _C.POP:
+            pop()
+            flow(pc + 1, st, loc)
+        elif op == _C.DUP:
+            if not st:
+                raise _Ineligible(f"{fn.name}@{pc}: DUP on empty stack")
+            flow(pc + 1, st + (st[-1],), loc)
+        elif op == _C.DUP2:
+            if len(st) < 2:
+                raise _Ineligible(f"{fn.name}@{pc}: DUP2 needs two slots")
+            flow(pc + 1, st + (st[-2], st[-1]), loc)
+        elif op in _BINOP_INT:
+            pop(_INT)
+            pop(_INT)
+            flow(pc + 1, st + (_INT,), loc)
+        elif op in _UNOP_INT:
+            pop(_INT)
+            flow(pc + 1, st + (_INT,), loc)
+        elif op == _C.JUMP:
+            flow(arg, st, loc)
+        elif op in (_C.BR_FALSE, _C.BR_TRUE):
+            pop(_INT)
+            flow(arg[0], st, loc)
+            flow(pc + 1, st, loc)
+        elif op == _C.CALL:
+            callee, argc = arg
+            if len(st) < argc:
+                raise _Ineligible(f"{fn.name}@{pc}: CALL pops below stack")
+            at = st[len(st) - argc:] if argc else ()
+            st = st[:len(st) - argc]
+            call_sigs.append((callee, at))
+            known = ret_types[callee]
+            flow(pc + 1, st + (known if known is not None else _INT,), loc)
+        elif op == _C.CALL_BUILTIN:
+            bid, _argc = arg
+            if bid in (0, 2, 5, 10):      # input / arg / abs / srand
+                pop(_INT)
+                flow(pc + 1, st + (_INT,), loc)
+            elif bid in (1, 3, 11):       # input_len / arg_count / rand
+                flow(pc + 1, st + (_INT,), loc)
+            elif bid == 4:                # output
+                pop(_INT)
+                flow(pc + 1, st + (_INT,), loc)
+            elif bid in (6, 7):           # min / max
+                pop(_INT)
+                pop(_INT)
+                flow(pc + 1, st + (_INT,), loc)
+            elif bid == 8:                # array
+                pop(_INT)
+                flow(pc + 1, st + (_ARR,), loc)
+            elif bid == 9:                # len
+                pop(_ARR)
+                flow(pc + 1, st + (_INT,), loc)
+            else:
+                raise _Ineligible(f"{fn.name}@{pc}: unknown builtin {bid}")
+        elif op == _C.RET:
+            t = pop()
+            if st:
+                # The SIMT executor merges lanes arriving at different RET
+                # instructions by reading one shared return-value slot; that
+                # only works when returns leave a clean operand stack.
+                raise _Ineligible(f"{fn.name}@{pc}: operands left on stack at return")
+            if ret_ty is None:
+                ret_ty = t
+            elif ret_ty != t:
+                raise _Ineligible(f"{fn.name}: mixed return types")
+        elif op == _C.HALT:
+            if st:
+                raise _Ineligible(f"{fn.name}@{pc}: operands left on stack at halt")
+        else:
+            raise _Ineligible(f"{fn.name}@{pc}: unknown opcode {op}")
+
+    depth_at = {p: len(s[0]) for p, s in states.items()}
+    return ret_ty, max_depth, depth_at, call_sigs
+
+
+def _join_points(fn) -> dict:
+    """``{branch pc -> immediate post-dominator pc}`` for one function.
+
+    The SIMT executor parks the minority side of a divergent branch and
+    stops the majority side at this join pc so the warp re-forms.  -1
+    means the paths only rejoin at function exit (early returns, infinite
+    loops): the warp then reconverges at the frame's RET instead.
+
+    Uses the Cooper-Harvey-Kennedy iterative dominator algorithm on the
+    reversed CFG rooted at a synthetic exit node.
+    """
+    ops, argl = fn.ops, fn.args
+    n = len(ops)
+    exit_n = n
+    succ: list = [None] * (n + 1)
+    succ[exit_n] = []
+    brs = []
+    for pc in range(n):
+        op = ops[pc]
+        if op == _C.JUMP:
+            succ[pc] = [argl[pc]]
+        elif op in (_C.BR_FALSE, _C.BR_TRUE):
+            brs.append(pc)
+            tgt = argl[pc][0]
+            succ[pc] = [tgt] if tgt == pc + 1 else [tgt, pc + 1]
+        elif op in (_C.RET, _C.HALT):
+            succ[pc] = [exit_n]
+        else:
+            succ[pc] = [pc + 1]
+    preds: list = [[] for _ in range(n + 1)]
+    for pc in range(n + 1):
+        for s in succ[pc]:
+            preds[s].append(pc)
+    # Reverse post-order of the reversed CFG (root: exit node).
+    post: list = []
+    seen = [False] * (n + 1)
+    dfs = [(exit_n, 0)]
+    seen[exit_n] = True
+    while dfs:
+        node, i = dfs[-1]
+        if i < len(preds[node]):
+            dfs[-1] = (node, i + 1)
+            nxt = preds[node][i]
+            if not seen[nxt]:
+                seen[nxt] = True
+                dfs.append((nxt, 0))
+        else:
+            dfs.pop()
+            post.append(node)
+    rpo = post[::-1]
+    index = {node: i for i, node in enumerate(rpo)}
+    idom: list = [None] * (n + 1)
+    idom[exit_n] = exit_n
+
+    def intersect(a, b):
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for u in rpo[1:]:
+            new = None
+            for v in succ[u]:
+                if idom[v] is not None:
+                    new = v if new is None else intersect(new, v)
+            if new is not None and idom[u] != new:
+                idom[u] = new
+                changed = True
+
+    joins = {}
+    for pc in brs:
+        j = idom[pc] if pc in index else None
+        joins[pc] = -1 if j is None or j == exit_n else j
+    return joins
+
+
+def _analyze(program: Program) -> BatchPlan:
+    gtypes = []
+    for init in program.global_init:
+        if isinstance(init, tuple):
+            gtypes.append(_ARR)
+        else:
+            if abs(init) >= _MAG_LIMIT:
+                return BatchPlan(False, f"global initializer {init} too large")
+            gtypes.append(_INT)
+
+    nf = len(program.functions)
+    param_types: list = [None] * nf
+    ret_types: list = [None] * nf
+    main = program.main_index
+    param_types[main] = (_INT,) * program.functions[main].num_params
+
+    max_depth = [0] * nf
+    depth_at: dict = {}
+    try:
+        for _round in range(2 * nf + 5):
+            changed = False
+            for fi in range(nf):
+                if param_types[fi] is None:
+                    continue
+                ret, dmax, dat, sigs = _analyze_function(
+                    program, fi, param_types, ret_types, gtypes)
+                max_depth[fi] = dmax
+                for pc, d in dat.items():
+                    depth_at[(fi, pc)] = d
+                if ret is not None and ret_types[fi] != ret:
+                    if ret_types[fi] is not None:
+                        raise _Ineligible(
+                            f"{program.functions[fi].name}: return type changed "
+                            "during inference")
+                    ret_types[fi] = ret
+                    changed = True
+                for callee, at in sigs:
+                    if param_types[callee] is None:
+                        param_types[callee] = at
+                        changed = True
+                    elif param_types[callee] != at:
+                        raise _Ineligible(
+                            f"call sites disagree on parameter types of "
+                            f"{program.functions[callee].name}")
+            if not changed:
+                break
+        else:
+            return BatchPlan(False, "type inference did not converge")
+    except _Ineligible as exc:
+        return BatchPlan(False, str(exc))
+
+    br_join = [_join_points(fn) for fn in program.functions]
+    return BatchPlan(True, "", param_types, ret_types, max_depth, depth_at, br_join)
+
+
+def plan_program(program: Program) -> BatchPlan:
+    """Verify (and cache) batch-eligibility of ``program``."""
+    plan = getattr(program, "_batch_plan", None)
+    if plan is None:
+        plan = _analyze(program)
+        program._batch_plan = plan
+        if not plan.eligible:
+            get_registry().counter(
+                "batchvm_ineligible_total",
+                "programs rejected by the batch-VM verifier").inc()
+    return plan
+
+
+@dataclass
+class BatchResult:
+    """Per-lane outcome of one :meth:`BatchMachine.run_lanes` call.
+
+    Exactly one of ``results[i]`` / ``errors[i]`` is set per lane unless
+    lane ``i`` appears in ``fallback_lanes`` (then both are ``None`` and
+    the caller must re-run that lane on the serial VM).
+    """
+
+    results: list
+    errors: list
+    fallback_lanes: list
+
+
+_CONST = int(_C.CONST)
+_LOAD_LOCAL = int(_C.LOAD_LOCAL)
+_STORE_LOCAL = int(_C.STORE_LOCAL)
+_LOAD_GLOBAL = int(_C.LOAD_GLOBAL)
+_STORE_GLOBAL = int(_C.STORE_GLOBAL)
+_LOAD_INDEX = int(_C.LOAD_INDEX)
+_STORE_INDEX = int(_C.STORE_INDEX)
+_NEW_ARRAY = int(_C.NEW_ARRAY)
+_POP = int(_C.POP)
+_DUP = int(_C.DUP)
+_DUP2 = int(_C.DUP2)
+_ADD = int(_C.ADD)
+_SUB = int(_C.SUB)
+_MUL = int(_C.MUL)
+_DIV = int(_C.DIV)
+_MOD = int(_C.MOD)
+_AND = int(_C.AND)
+_OR = int(_C.OR)
+_XOR = int(_C.XOR)
+_SHL = int(_C.SHL)
+_SHR = int(_C.SHR)
+_EQ = int(_C.EQ)
+_NE = int(_C.NE)
+_LT = int(_C.LT)
+_LE = int(_C.LE)
+_GT = int(_C.GT)
+_GE = int(_C.GE)
+_NEG = int(_C.NEG)
+_NOT = int(_C.NOT)
+_BNOT = int(_C.BNOT)
+_JUMP = int(_C.JUMP)
+_BR_FALSE = int(_C.BR_FALSE)
+_BR_TRUE = int(_C.BR_TRUE)
+_CALL = int(_C.CALL)
+_CALL_BUILTIN = int(_C.CALL_BUILTIN)
+_RET = int(_C.RET)
+_HALT = int(_C.HALT)
+
+_RNG_MULT = 1103515245
+_RNG_INC = 12345
+_RNG_MASK = 0x7FFFFFFF
+
+#: Per-lane heap budget (int64 words).  A lane whose bump allocator would
+#: pass this bound is withdrawn to the serial VM instead of inflating the
+#: shared 2D heap for every lane.
+_HEAP_COLS_LIMIT = 1 << 22
+
+
+def _grow2(arr: np.ndarray, need: int) -> np.ndarray:
+    """Return ``arr`` with at least ``need`` columns (geometric growth)."""
+    cap = arr.shape[1]
+    if need <= cap:
+        return arr
+    out = np.zeros((arr.shape[0], max(need, 2 * cap, 16)), dtype=arr.dtype)
+    out[:, :cap] = arr
+    return out
+
+
+class _DivEntry:
+    """One level of the SIMT divergence stack.
+
+    Created when a conditional branch splits the running warp: the
+    minority side waits here while the majority runs to the join pc
+    (``join >= 0``) or to the frame's RET (``join == -1``).  Subgroups
+    that arrive park in ``arrived`` until every lane is accounted for,
+    then the warp re-forms and the entry pops.
+    """
+
+    __slots__ = ("fi", "depth", "join", "sp", "fp", "waiting_L", "waiting_pc",
+                 "arrived", "arr_sp")
+
+    def __init__(self, fi, depth, join, sp, fp, waiting_L, waiting_pc):
+        self.fi = fi
+        self.depth = depth
+        self.join = join
+        self.sp = sp
+        self.fp = fp
+        self.waiting_L = waiting_L
+        self.waiting_pc = waiting_pc
+        self.arrived = []
+        self.arr_sp = None
+
+
+class BatchMachine:
+    """Executes one eligible program across N input-set lanes in lockstep.
+
+    All lanes run as a single warp from ``main``: because divergence is
+    handled with a reconvergence stack (branches park the minority side
+    and rejoin at the branch's immediate post-dominator), every lane in
+    the active subset always shares the same control path — so pc, sp,
+    fp and the whole call stack are plain scalars, and only *data*
+    (stacks, locals, heap, rng, fuel) is struct-of-arrays.
+    """
+
+    def __init__(self, program: Program, fuel: int = DEFAULT_FUEL):
+        self.program = program
+        self.fuel = fuel
+        self.plan = plan_program(program)
+        self._code = [(f.ops, f.args, f.num_locals) for f in program.functions]
+
+    def run_lanes(self, input_sets, mode: str = "trace") -> BatchResult:
+        """Run every lane to completion; never raises for per-lane faults.
+
+        Raises :class:`BatchFallback` only for whole-batch conditions (the
+        program is ineligible, or an input value exceeds int64 headroom).
+        """
+        import time as _time
+
+        if mode not in ("none", "trace"):
+            raise ValueError(f"unknown batch run mode {mode!r}")
+        if not self.plan.eligible:
+            raise BatchFallback(f"program ineligible: {self.plan.reason}")
+        n = len(input_sets)
+        if n == 0:
+            return BatchResult([], [], [])
+        for s in input_sets:
+            if s.data and max(map(abs, s.data)) >= _MAG_LIMIT:
+                raise BatchFallback(f"input {s.name!r} data exceeds int64 headroom")
+            if s.args and max(map(abs, s.args)) >= _MAG_LIMIT:
+                raise BatchFallback(f"input {s.name!r} args exceed int64 headroom")
+
+        t_start = _time.perf_counter()
+        tracing = mode == "trace"
+        program = self.program
+        plan = self.plan
+        code = self._code
+        fuel = self.fuel
+
+        # ---- per-lane input matrices -------------------------------------
+        maxlen = max((len(s.data) for s in input_sets), default=0)
+        inp = np.zeros((n, max(1, maxlen)), dtype=np.int64)
+        inplen = np.zeros(n, dtype=np.int64)
+        maxargs = max((len(s.args) for s in input_sets), default=0)
+        argmat = np.zeros((n, max(1, maxargs)), dtype=np.int64)
+        argcnt = np.zeros(n, dtype=np.int64)
+        for i, s in enumerate(input_sets):
+            if s.data:
+                inp[i, :len(s.data)] = s.data
+            inplen[i] = len(s.data)
+            if s.args:
+                argmat[i, :len(s.args)] = s.args
+            argcnt[i] = len(s.args)
+
+        # ---- globals / heap ----------------------------------------------
+        ng = len(program.global_init)
+        gmat = np.zeros((n, ng), dtype=np.int64)
+        abase = np.zeros((n, 16), dtype=np.int64)
+        alen = np.zeros_like(abase)
+        hid = 0
+        top = 0
+        for init in program.global_init:
+            if isinstance(init, tuple):
+                hid += 1
+        if hid > abase.shape[1]:
+            abase = _grow2(abase, hid)
+            alen = _grow2(alen, hid)
+        hid = 0
+        for gi, init in enumerate(program.global_init):
+            if isinstance(init, tuple):
+                abase[:, hid] = top
+                alen[:, hid] = init[1]
+                gmat[:, gi] = hid
+                top += init[1]
+                hid += 1
+            else:
+                gmat[:, gi] = init
+        heap = np.zeros((n, max(1024, top)), dtype=np.int64)
+
+        # ---- per-lane data state -----------------------------------------
+        main = program.main_index
+        stack = np.zeros((n, plan.max_depth[main] + 2), dtype=np.int64)
+        locals_mem = np.zeros((n, max(1, code[main][2])), dtype=np.int64)
+        rng = np.full(n, 12345, dtype=np.int64)
+        executed = np.zeros(n, dtype=np.int64)
+        branches_ = np.zeros(n, dtype=np.int64)
+        heap_top = np.full(n, top, dtype=np.int64)
+        nh = np.full(n, hid, dtype=np.int64)
+        status = np.zeros(n, dtype=np.int8)   # 0 run, 1 done, 2 error, 3 fallback
+        retval = np.zeros(n, dtype=np.int64)
+        errors: list = [None] * n
+        trace_lanes: list = []
+        trace_packed: list = []
+        out_lanes: list = []
+        out_vals: list = []
+
+        # ---- scalar warp state -------------------------------------------
+        L = np.arange(n, dtype=np.int64)
+        fi = main
+        ops, argl, cur_nloc = code[fi]
+        joins = plan.br_join[fi]
+        pc = 0
+        sp = 0
+        fp = 0
+        frames: list = []        # (fi, return pc, caller fp)
+        div: list = []           # _DivEntry reconvergence stack
+        cur_R = -2               # join pc of div[-1] iff its depth matches
+
+        exeL = executed[L]
+        brL = branches_[L]
+        rngL = rng[L]
+        htL = heap_top[L]
+        nhL = nh[L]
+        steps = 0
+        bsteps = 0
+
+        def _gather():
+            nonlocal exeL, brL, rngL, htL, nhL, steps, bsteps
+            exeL = executed[L]
+            brL = branches_[L]
+            rngL = rng[L]
+            htL = heap_top[L]
+            nhL = nh[L]
+            steps = 0
+            bsteps = 0
+
+        def _save(mask):
+            sub = L[mask]
+            executed[sub] = exeL[mask] + steps
+            branches_[sub] = brL[mask] + bsteps
+            rng[sub] = rngL[mask]
+            heap_top[sub] = htL[mask]
+            nh[sub] = nhL[mask]
+
+        def _compress(keep):
+            nonlocal L, exeL, brL, rngL, htL, nhL
+            L = L[keep]
+            exeL = exeL[keep]
+            brL = brL[keep]
+            rngL = rngL[keep]
+            htL = htL[keep]
+            nhL = nhL[keep]
+
+        def _fault(mask, excs):
+            _save(mask)
+            sub = L[mask]
+            for j, lane in enumerate(sub):
+                status[lane] = 2
+                errors[int(lane)] = excs[j]
+            _compress(~mask)
+
+        def _bail(mask):
+            _save(mask)
+            status[L[mask]] = 3
+            _compress(~mask)
+
+        def _finish(mask, values):
+            _save(mask)
+            sub = L[mask]
+            status[sub] = 1
+            retval[sub] = values
+            _compress(~mask)
+
+        def _fuel_ok():
+            over = (exeL + steps) > fuel
+            if over.any():
+                excs = [FuelExhausted(int(e) + steps) for e in exeL[over]]
+                _fault(over, excs)
+                return L.size > 0
+            return True
+
+        def _alloc_array():
+            nonlocal heap, abase, alen, htL, nhL
+            sizes = stack[L, sp - 1]
+            neg = sizes < 0
+            if neg.any():
+                _fault(neg, [VMRuntimeError(f"negative array size {int(s)}")
+                             for s in sizes[neg]])
+                if L.size == 0:
+                    return False
+                sizes = stack[L, sp - 1]
+            new_top = htL + sizes
+            hog = new_top > _HEAP_COLS_LIMIT
+            if hog.any():
+                _bail(hog)
+                if L.size == 0:
+                    return False
+                sizes = stack[L, sp - 1]
+                new_top = htL + sizes
+            hmax = int(nhL.max()) + 1
+            if hmax > abase.shape[1]:
+                abase = _grow2(abase, hmax)
+                alen = _grow2(alen, hmax)
+            need = int(new_top.max())
+            if need > heap.shape[1]:
+                heap = _grow2(heap, need)
+            abase[L, nhL] = htL
+            alen[L, nhL] = sizes
+            stack[L, sp - 1] = nhL
+            nhL = nhL + 1
+            htL = new_top
+            return True
+
+        def _unwind():
+            """Install the next runnable group after L emptied (or parked).
+
+            Returns True when a group was installed; False when execution
+            is complete.
+            """
+            nonlocal L, fi, ops, argl, cur_nloc, joins, pc, sp, fp, cur_R, steps
+            while div:
+                e = div[-1]
+                # A fully-faulted running side can leave frames/fp deep in
+                # a callee; restore the entry frame's view before resuming.
+                del frames[e.depth:]
+                fp = e.fp
+                if e.waiting_L is not None:
+                    L = e.waiting_L
+                    e.waiting_L = None
+                    fi = e.fi
+                    ops, argl, cur_nloc = code[fi]
+                    joins = plan.br_join[fi]
+                    pc = e.waiting_pc
+                    sp = e.sp
+                    cur_R = e.join
+                    _gather()
+                    return True
+                div.pop()
+                if e.arrived:
+                    L = np.sort(np.concatenate(e.arrived)) \
+                        if len(e.arrived) > 1 else e.arrived[0]
+                    fi = e.fi
+                    sp = e.arr_sp
+                    if e.join >= 0:
+                        ops, argl, cur_nloc = code[fi]
+                        joins = plan.br_join[fi]
+                        pc = e.join
+                        cur_R = (div[-1].join
+                                 if div and div[-1].depth == len(frames) else -2)
+                        _gather()
+                    else:
+                        # Every subgroup is parked on its own RET at this
+                        # depth.  If another divergence entry at the same
+                        # depth sits below, its waiting lanes are still
+                        # inside this frame — cascade the merged group into
+                        # it instead of returning out from under them.
+                        if div and div[-1].depth == e.depth:
+                            d2 = div[-1]
+                            if d2.join >= 0:
+                                raise BatchFallback(
+                                    "exit-join entry stacked over an "
+                                    "interior-join entry at equal depth")
+                            if d2.arr_sp is None:
+                                d2.arr_sp = e.arr_sp
+                            d2.arrived.append(L)
+                            continue
+                        # The return-value slot is shared (verifier
+                        # guarantees a clean stack at RET), so execute the
+                        # merged return directly.
+                        _gather()
+                        steps = 1
+                        fi, pc, fp = frames.pop()
+                        ops, argl, cur_nloc = code[fi]
+                        joins = plan.br_join[fi]
+                        cur_R = (div[-1].join
+                                 if div and div[-1].depth == len(frames) else -2)
+                    return True
+            return False
+
+        while True:
+            if pc == cur_R:
+                # The running subgroup reached the reconvergence point of
+                # the top divergence entry: park here and hand control to
+                # the waiting side (or re-form the warp if none remains).
+                e = div[-1]
+                _save(np.ones(L.size, dtype=bool))
+                if e.arr_sp is None:
+                    e.arr_sp = sp
+                e.arrived.append(L)
+                L = L[:0]
+                if not _unwind():
+                    break
+                continue
+
+            op = ops[pc]
+            arg = argl[pc]
+            steps += 1
+
+            if op == _LOAD_LOCAL:
+                stack[L, sp] = locals_mem[L, fp + arg]
+                sp += 1
+                pc += 1
+            elif op == _CONST:
+                stack[L, sp] = arg
+                sp += 1
+                pc += 1
+            elif op == _BR_FALSE or op == _BR_TRUE:
+                if not _fuel_ok():
+                    if L.size == 0:
+                        if not _unwind():
+                            break
+                    continue
+                bsteps += 1
+                sp -= 1
+                v = stack[L, sp]
+                t = (v == 0) if op == _BR_FALSE else (v != 0)
+                if tracing:
+                    trace_lanes.append(L.copy())
+                    trace_packed.append(arg[1] * 2 + t.astype(np.int64))
+                tgt = arg[0]
+                nt = int(t.sum())
+                if tgt == pc + 1 or nt == 0:
+                    pc += 1
+                elif nt == t.size:
+                    pc = tgt
+                else:
+                    join = joins[pc]
+                    run_taken = nt * 2 > t.size
+                    wmask = ~t if run_taken else t
+                    _save(wmask)
+                    e = _DivEntry(fi, len(frames), join, sp, fp,
+                                  L[wmask], pc + 1 if run_taken else tgt)
+                    div.append(e)
+                    _compress(~wmask)
+                    pc = tgt if run_taken else pc + 1
+                    cur_R = join if e.depth == len(frames) else -2
+            elif op == _STORE_LOCAL:
+                sp -= 1
+                locals_mem[L, fp + arg] = stack[L, sp]
+                pc += 1
+            elif op == _LOAD_INDEX:
+                sp -= 1
+                idx = stack[L, sp]
+                h = stack[L, sp - 1]
+                ln = alen[L, h]
+                bad = (idx < 0) | (idx >= ln)
+                if bad.any():
+                    _fault(bad, [
+                        VMRuntimeError(f"array index {int(i)} out of range (len {int(m)})")
+                        for i, m in zip(idx[bad], ln[bad])])
+                    if L.size == 0:
+                        if not _unwind():
+                            break
+                        continue
+                    idx = stack[L, sp]
+                    h = stack[L, sp - 1]
+                stack[L, sp - 1] = heap[L, abase[L, h] + idx]
+                pc += 1
+            elif op == _STORE_INDEX:
+                sp -= 3
+                val = stack[L, sp + 2]
+                idx = stack[L, sp + 1]
+                h = stack[L, sp]
+                ln = alen[L, h]
+                bad = (idx < 0) | (idx >= ln)
+                if bad.any():
+                    _fault(bad, [
+                        VMRuntimeError(f"array index {int(i)} out of range (len {int(m)})")
+                        for i, m in zip(idx[bad], ln[bad])])
+                    if L.size == 0:
+                        if not _unwind():
+                            break
+                        continue
+                    val = stack[L, sp + 2]
+                    idx = stack[L, sp + 1]
+                    h = stack[L, sp]
+                heap[L, abase[L, h] + idx] = val
+                pc += 1
+            elif op == _ADD:
+                sp -= 1
+                b = stack[L, sp]
+                a = stack[L, sp - 1]
+                r = a + b
+                ovf = ((a ^ r) & (b ^ r)) < 0
+                if ovf.any():
+                    _bail(ovf)
+                    if L.size == 0:
+                        if not _unwind():
+                            break
+                        continue
+                    b = stack[L, sp]
+                    a = stack[L, sp - 1]
+                    r = a + b
+                stack[L, sp - 1] = r
+                pc += 1
+            elif op == _SUB:
+                sp -= 1
+                b = stack[L, sp]
+                a = stack[L, sp - 1]
+                r = a - b
+                ovf = ((a ^ b) & (a ^ r)) < 0
+                if ovf.any():
+                    _bail(ovf)
+                    if L.size == 0:
+                        if not _unwind():
+                            break
+                        continue
+                    b = stack[L, sp]
+                    a = stack[L, sp - 1]
+                    r = a - b
+                stack[L, sp - 1] = r
+                pc += 1
+            elif op == _MUL:
+                sp -= 1
+                b = stack[L, sp]
+                a = stack[L, sp - 1]
+                sus = (np.abs(a.astype(np.float64))
+                       * np.abs(b.astype(np.float64))) >= 4.0e18
+                if sus.any():
+                    bad = np.zeros(L.size, dtype=bool)
+                    for j in np.nonzero(sus)[0]:
+                        p = int(a[j]) * int(b[j])
+                        if not (_INT64_MIN <= p < -_INT64_MIN):
+                            bad[j] = True
+                    if bad.any():
+                        _bail(bad)
+                        if L.size == 0:
+                            if not _unwind():
+                                break
+                            continue
+                        b = stack[L, sp]
+                        a = stack[L, sp - 1]
+                stack[L, sp - 1] = a * b
+                pc += 1
+            elif op == _LT:
+                sp -= 1
+                stack[L, sp - 1] = stack[L, sp - 1] < stack[L, sp]
+                pc += 1
+            elif op == _LE:
+                sp -= 1
+                stack[L, sp - 1] = stack[L, sp - 1] <= stack[L, sp]
+                pc += 1
+            elif op == _GT:
+                sp -= 1
+                stack[L, sp - 1] = stack[L, sp - 1] > stack[L, sp]
+                pc += 1
+            elif op == _GE:
+                sp -= 1
+                stack[L, sp - 1] = stack[L, sp - 1] >= stack[L, sp]
+                pc += 1
+            elif op == _EQ:
+                sp -= 1
+                stack[L, sp - 1] = stack[L, sp - 1] == stack[L, sp]
+                pc += 1
+            elif op == _NE:
+                sp -= 1
+                stack[L, sp - 1] = stack[L, sp - 1] != stack[L, sp]
+                pc += 1
+            elif op == _LOAD_GLOBAL:
+                stack[L, sp] = gmat[L, arg]
+                sp += 1
+                pc += 1
+            elif op == _STORE_GLOBAL:
+                sp -= 1
+                gmat[L, arg] = stack[L, sp]
+                pc += 1
+            elif op == _JUMP:
+                if not _fuel_ok():
+                    if L.size == 0:
+                        if not _unwind():
+                            break
+                    continue
+                pc = arg
+            elif op == _DIV or op == _MOD:
+                sp -= 1
+                b = stack[L, sp]
+                a = stack[L, sp - 1]
+                z = b == 0
+                if z.any():
+                    msg = "division by zero" if op == _DIV else "modulo by zero"
+                    _fault(z, [VMRuntimeError(msg) for _ in range(int(z.sum()))])
+                    if L.size == 0:
+                        if not _unwind():
+                            break
+                        continue
+                    b = stack[L, sp]
+                    a = stack[L, sp - 1]
+                ovf = (a == _INT64_MIN) & (b == -1)
+                if ovf.any():
+                    _bail(ovf)
+                    if L.size == 0:
+                        if not _unwind():
+                            break
+                        continue
+                    b = stack[L, sp]
+                    a = stack[L, sp - 1]
+                q = a // b
+                adj = (q < 0) & (a - q * b != 0)
+                q[adj] += 1
+                stack[L, sp - 1] = q if op == _DIV else a - b * q
+                pc += 1
+            elif op == _AND:
+                sp -= 1
+                stack[L, sp - 1] = stack[L, sp - 1] & stack[L, sp]
+                pc += 1
+            elif op == _OR:
+                sp -= 1
+                stack[L, sp - 1] = stack[L, sp - 1] | stack[L, sp]
+                pc += 1
+            elif op == _XOR:
+                sp -= 1
+                stack[L, sp - 1] = stack[L, sp - 1] ^ stack[L, sp]
+                pc += 1
+            elif op == _SHL:
+                sp -= 1
+                s = stack[L, sp] & 63
+                a = stack[L, sp - 1]
+                r = a << s
+                ovf = (r >> s) != a
+                if ovf.any():
+                    _bail(ovf)
+                    if L.size == 0:
+                        if not _unwind():
+                            break
+                        continue
+                    s = stack[L, sp] & 63
+                    a = stack[L, sp - 1]
+                    r = a << s
+                stack[L, sp - 1] = r
+                pc += 1
+            elif op == _SHR:
+                sp -= 1
+                stack[L, sp - 1] = stack[L, sp - 1] >> (stack[L, sp] & 63)
+                pc += 1
+            elif op == _NEG:
+                a = stack[L, sp - 1]
+                ovf = a == _INT64_MIN
+                if ovf.any():
+                    _bail(ovf)
+                    if L.size == 0:
+                        if not _unwind():
+                            break
+                        continue
+                    a = stack[L, sp - 1]
+                stack[L, sp - 1] = -a
+                pc += 1
+            elif op == _NOT:
+                stack[L, sp - 1] = stack[L, sp - 1] == 0
+                pc += 1
+            elif op == _BNOT:
+                stack[L, sp - 1] = ~stack[L, sp - 1]
+                pc += 1
+            elif op == _POP:
+                sp -= 1
+                pc += 1
+            elif op == _DUP:
+                stack[L, sp] = stack[L, sp - 1]
+                sp += 1
+                pc += 1
+            elif op == _DUP2:
+                stack[L, sp] = stack[L, sp - 2]
+                stack[L, sp + 1] = stack[L, sp - 1]
+                sp += 2
+                pc += 1
+            elif op == _NEW_ARRAY:
+                if not _alloc_array():
+                    if L.size == 0:
+                        if not _unwind():
+                            break
+                    continue
+                pc += 1
+            elif op == _CALL_BUILTIN:
+                bid = arg[0]
+                if bid == 0:      # input(i)
+                    idx = stack[L, sp - 1]
+                    il = inplen[L]
+                    bad = (idx < 0) | (idx >= il)
+                    if bad.any():
+                        _fault(bad, [
+                            VMRuntimeError(f"input index {int(i)} out of range (len {int(m)})")
+                            for i, m in zip(idx[bad], il[bad])])
+                        if L.size == 0:
+                            if not _unwind():
+                                break
+                            continue
+                        idx = stack[L, sp - 1]
+                    stack[L, sp - 1] = inp[L, idx]
+                elif bid == 1:    # input_len()
+                    stack[L, sp] = inplen[L]
+                    sp += 1
+                elif bid == 2:    # arg(i)
+                    idx = stack[L, sp - 1]
+                    ac = argcnt[L]
+                    bad = (idx < 0) | (idx >= ac)
+                    if bad.any():
+                        _fault(bad, [
+                            VMRuntimeError(f"arg index {int(i)} out of range (count {int(m)})")
+                            for i, m in zip(idx[bad], ac[bad])])
+                        if L.size == 0:
+                            if not _unwind():
+                                break
+                            continue
+                        idx = stack[L, sp - 1]
+                    stack[L, sp - 1] = argmat[L, idx]
+                elif bid == 3:    # arg_count()
+                    stack[L, sp] = argcnt[L]
+                    sp += 1
+                elif bid == 4:    # output(v)
+                    out_lanes.append(L.copy())
+                    out_vals.append(stack[L, sp - 1])
+                    stack[L, sp - 1] = 0
+                elif bid == 5:    # abs(x)
+                    a = stack[L, sp - 1]
+                    ovf = a == _INT64_MIN
+                    if ovf.any():
+                        _bail(ovf)
+                        if L.size == 0:
+                            if not _unwind():
+                                break
+                            continue
+                        a = stack[L, sp - 1]
+                    stack[L, sp - 1] = np.abs(a)
+                elif bid == 6:    # min(a, b)
+                    sp -= 1
+                    stack[L, sp - 1] = np.minimum(stack[L, sp - 1], stack[L, sp])
+                elif bid == 7:    # max(a, b)
+                    sp -= 1
+                    stack[L, sp - 1] = np.maximum(stack[L, sp - 1], stack[L, sp])
+                elif bid == 8:    # array(n)
+                    if not _alloc_array():
+                        if L.size == 0:
+                            if not _unwind():
+                                break
+                        continue
+                elif bid == 9:    # len(a)
+                    stack[L, sp - 1] = alen[L, stack[L, sp - 1]]
+                elif bid == 10:   # srand(seed)
+                    rngL = stack[L, sp - 1] & _RNG_MASK
+                    stack[L, sp - 1] = 0
+                else:             # rand()
+                    rngL = (_RNG_MULT * rngL + _RNG_INC) & _RNG_MASK
+                    stack[L, sp] = rngL >> 16
+                    sp += 1
+                pc += 1
+            elif op == _CALL:
+                if not _fuel_ok():
+                    if L.size == 0:
+                        if not _unwind():
+                            break
+                    continue
+                callee, argc = arg
+                frames.append((fi, pc + 1, fp))
+                if len(frames) > 4000:
+                    excs = [VMRuntimeError("guest call stack overflow (recursion too deep)")
+                            for _ in range(L.size)]
+                    frames.pop()
+                    _fault(np.ones(L.size, dtype=bool), excs)
+                    if not _unwind():
+                        break
+                    continue
+                cn = code[callee][2]
+                base = fp + cur_nloc
+                if base + cn > locals_mem.shape[1]:
+                    locals_mem = _grow2(locals_mem, base + cn)
+                if cn:
+                    locals_mem[L, base:base + cn] = 0
+                if argc:
+                    sp -= argc
+                    locals_mem[L, base:base + argc] = stack[L, sp:sp + argc]
+                fp = base
+                fi = callee
+                ops, argl, cur_nloc = code[fi]
+                joins = plan.br_join[fi]
+                pc = 0
+                cur_R = -2
+                if sp + plan.max_depth[fi] + 2 > stack.shape[1]:
+                    stack = _grow2(stack, sp + plan.max_depth[fi] + 2)
+            elif op == _RET:
+                depth = len(frames)
+                if depth == 0:
+                    _finish(np.ones(L.size, dtype=bool), stack[L, sp - 1])
+                    if not _unwind():
+                        break
+                    continue
+                if div and div[-1].depth == depth:
+                    e = div[-1]
+                    if e.join >= 0:
+                        raise BatchFallback(
+                            "RET inside a divergent region with an interior join")
+                    steps -= 1  # the RET retires when the merged warp runs it
+                    _save(np.ones(L.size, dtype=bool))
+                    if e.arr_sp is None:
+                        e.arr_sp = sp
+                    e.arrived.append(L)
+                    L = L[:0]
+                    if not _unwind():
+                        break
+                    continue
+                fi, pc, fp = frames.pop()
+                ops, argl, cur_nloc = code[fi]
+                joins = plan.br_join[fi]
+                cur_R = (div[-1].join
+                         if div and div[-1].depth == len(frames) else -2)
+            elif op == _HALT:
+                _finish(np.ones(L.size, dtype=bool),
+                        np.zeros(L.size, dtype=np.int64))
+                if not _unwind():
+                    break
+                continue
+            else:
+                raise BatchFallback(f"unknown opcode {op} reached the batch VM")
+
+            if L.size == 0:
+                if not _unwind():
+                    break
+
+        # ---- per-lane reconstruction -------------------------------------
+        lanes_idx = np.arange(n + 1)
+        if trace_lanes:
+            tl = np.concatenate(trace_lanes)
+            order = np.argsort(tl, kind="stable")
+            tp = np.concatenate(trace_packed)[order]
+            tbounds = np.searchsorted(tl[order], lanes_idx)
+        else:
+            tp = np.zeros(0, dtype=np.int64)
+            tbounds = np.zeros(n + 1, dtype=np.int64)
+        if out_lanes:
+            ol = np.concatenate(out_lanes)
+            oorder = np.argsort(ol, kind="stable")
+            ov = np.concatenate(out_vals)[oorder]
+            obounds = np.searchsorted(ol[oorder], lanes_idx)
+        else:
+            ov = np.zeros(0, dtype=np.int64)
+            obounds = np.zeros(n + 1, dtype=np.int64)
+
+        results: list = [None] * n
+        fallback_lanes: list = []
+        for i in range(n):
+            st = int(status[i])
+            if st == 1:
+                results[i] = RunResult(
+                    return_value=int(retval[i]),
+                    output=[int(x) for x in ov[obounds[i]:obounds[i + 1]]],
+                    instructions=int(executed[i]),
+                    branches=int(branches_[i]),
+                    packed_trace=tp[tbounds[i]:tbounds[i + 1]],
+                )
+            elif st == 3:
+                fallback_lanes.append(i)
+
+        elapsed = _time.perf_counter() - t_start
+        registry = get_registry()
+        registry.counter("batchvm_lanes_total",
+                         "lanes executed by the batch VM").inc(n)
+        registry.counter("batchvm_instructions_total",
+                         "guest instructions retired by the batch VM").inc(
+                             int(executed.sum()))
+        if fallback_lanes:
+            registry.counter(
+                "batchvm_fallback_lanes_total",
+                "lanes withdrawn to the serial VM (overflow/heap bailout)").inc(
+                    len(fallback_lanes))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.add_span(
+                "batchvm.run_lanes", ts_us=(_time.time_ns() / 1e3) - elapsed * 1e6,
+                dur_us=elapsed * 1e6, cat="vm", lanes=n, mode=mode,
+                instructions=int(executed.sum()),
+                fallback_lanes=len(fallback_lanes),
+            )
+        return BatchResult(results, errors, fallback_lanes)

@@ -53,17 +53,35 @@ class Workload:
     def ext_names(self) -> list[str]:
         return [name for name in self.input_names if name.startswith("ext-")]
 
-    def make_input(self, name: str, scale: float = 1.0) -> InputSet:
-        """Generate one input set deterministically."""
+    def make_input(
+        self, name: str, scale: float = 1.0, variant: tuple[int, ...] | None = None
+    ) -> InputSet:
+        """Generate one input set deterministically.
+
+        With ``variant`` (a tuple of ints), the factory runs under
+        :func:`repro.workloads.inputs.variant_seed`, producing a
+        statistically-alike sibling of the named input; the returned set
+        is renamed ``"<name>~<v0>.<v1>..."`` so population lanes stay
+        distinguishable in caches and the warehouse.
+        """
         try:
             factory = self.inputs[name]
         except KeyError:
             raise ExperimentError(
                 f"workload {self.name!r} has no input {name!r}; available: {self.input_names}"
             ) from None
-        input_set = factory(scale)
+        if variant is None:
+            input_set = factory(scale)
+        else:
+            from repro.workloads.inputs import variant_seed
+
+            with variant_seed(*variant):
+                input_set = factory(scale)
         if input_set.name != name:
             raise ExperimentError(
                 f"input factory for {self.name}/{name} returned a set named {input_set.name!r}"
             )
+        if variant is not None:
+            tag = ".".join(str(int(value)) for value in variant)
+            input_set = InputSet.make(f"{name}~{tag}", input_set.data, input_set.args)
         return input_set

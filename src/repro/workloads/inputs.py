@@ -8,12 +8,43 @@ data, value-magnitude mixes, board layouts, ...).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
+
+#: Extra seed entropy mixed into every :func:`rng` call, or ``None``.
+#: Set via :func:`variant_seed`; lets the sweep engine derive whole
+#: *families* of statistically-alike inputs from the existing factories
+#: without touching any workload module.
+_VARIANT: list[tuple[int, ...] | None] = [None]
+
+
+@contextmanager
+def variant_seed(*extra: int):
+    """Derive a seeded variant stream for every generator in the block.
+
+    Inside the context, ``rng(seed)`` seeds from ``(seed, *extra)``
+    instead of ``seed``: same distribution, different draw.  Used by
+    :mod:`repro.sweep.population` to grow an input population from one
+    named input; nesting restores the previous variant on exit.
+    """
+    previous = _VARIANT[0]
+    _VARIANT[0] = tuple(int(value) for value in extra)
+    try:
+        yield
+    finally:
+        _VARIANT[0] = previous
 
 
 def rng(seed: int) -> np.random.Generator:
-    """The suite-wide RNG constructor (one seed, one stream)."""
-    return np.random.default_rng(seed)
+    """The suite-wide RNG constructor (one seed, one stream).
+
+    Under :func:`variant_seed`, the variant entropy is mixed in so each
+    population member draws an independent stream of the same shape.
+    """
+    if _VARIANT[0] is None:
+        return np.random.default_rng(seed)
+    return np.random.default_rng((seed, *_VARIANT[0]))
 
 
 def scaled(base: int, scale: float, minimum: int = 16) -> int:

@@ -1,0 +1,321 @@
+"""Lockstep batch VM: serial/batch differential and edge-case parity.
+
+The contract under test is absolute: for every eligible program, the
+batch VM's per-lane traces, instruction counts, return values, outputs,
+and *errors* are bit-identical to running each lane through the serial
+:class:`~repro.vm.machine.Machine`.  The first half checks that on the
+shipped workloads across seeded input populations; the second half pins
+the serial VM's nastiest edge semantics (fuel exhaustion mid-call,
+out-of-range indexing, shift-count masking, C-style truncating division)
+and the per-lane int64-overflow withdrawal path.
+
+``REPRO_BATCHVM_FULL=1`` (the CI batchvm-smoke job) widens every
+workload's population to the full 16 lanes; the tier-1 defaults keep the
+recursion-heavy workloads small so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError, FuelExhausted, VMRuntimeError
+from repro.lang import compile_source
+from repro.sweep import PopulationSpec, generate_population
+from repro.trace.capture import capture_trace, capture_traces
+from repro.vm import InputSet, Machine
+from repro.vm.batch import BatchFallback, BatchMachine, plan_program
+from repro.workloads import all_workloads, get_workload
+
+_FULL = os.environ.get("REPRO_BATCHVM_FULL", "") == "1"
+
+#: Tier-1 (lanes, scale) per workload; the SIMT batch VM shatters on the
+#: recursion-heavy workloads, so those get small populations by default.
+_TIER1 = {
+    "bzipish": (6, 0.02),
+    "gzipish": (8, 0.03),
+    "twolfish": (6, 0.03),
+    "gapish": (8, 0.03),
+    "craftyish": (2, 0.01),
+    "parserish": (6, 0.02),
+    "mcfish": (8, 0.03),
+    "gccish": (6, 0.03),
+    "vprish": (4, 0.02),
+    "vortexish": (8, 0.03),
+    "perlish": (8, 0.03),
+    "eonish": (8, 0.03),
+}
+
+
+def _population(workload: str) -> PopulationSpec:
+    lanes, scale = _TIER1[workload]
+    if _FULL:
+        lanes = 16
+    return PopulationSpec(workload=workload, base_input="ref",
+                          size=lanes, seed=5, scale=scale)
+
+
+def _assert_traces_identical(batch, serial):
+    assert len(batch) == len(serial)
+    for got, want in zip(batch, serial):
+        assert got.instructions == want.instructions
+        np.testing.assert_array_equal(got.sites, want.sites)
+        np.testing.assert_array_equal(got.outcomes, want.outcomes)
+
+
+@pytest.mark.parametrize("workload", sorted(_TIER1))
+def test_workload_population_differential(workload, monkeypatch):
+    """Batch traces are bit-identical to serial across an input population."""
+    assert _TIER1.keys() == {wl.name for wl in all_workloads()}, (
+        "differential must cover every shipped workload")
+    # Hard-require the batch path: a silent serial fallback would make
+    # this test vacuous.
+    monkeypatch.setenv("REPRO_REQUIRE_BATCH_VM", "1")
+    spec = _population(workload)
+    program = get_workload(workload).program()
+    input_sets = generate_population(spec)
+    batch = capture_traces(program, input_sets)
+    serial = [capture_trace(program, s) for s in input_sets]
+    _assert_traces_identical(batch, serial)
+
+
+class TestRequireBatchEnv:
+    SOURCE = "func main() { var i = 0; while (i < arg(0)) { i = i + 1; } return i; }"
+
+    def test_eligible_program_runs_batched(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REQUIRE_BATCH_VM", "1")
+        program = compile_source(self.SOURCE, name="tiny")
+        sets = [InputSet.make(f"i{k}", args=[k]) for k in (3, 5, 9)]
+        traces = capture_traces(program, sets)
+        assert [t.instructions for t in traces] == \
+            [capture_trace(program, s).instructions for s in sets]
+
+    def test_unset_and_zero_do_not_require(self, monkeypatch):
+        from repro.trace.capture import _batch_required
+
+        monkeypatch.delenv("REPRO_REQUIRE_BATCH_VM", raising=False)
+        assert not _batch_required("anything")
+        monkeypatch.setenv("REPRO_REQUIRE_BATCH_VM", "0")
+        assert not _batch_required("anything")
+
+    def test_named_list_requires_only_named(self, monkeypatch):
+        from repro.trace.capture import _batch_required
+
+        monkeypatch.setenv("REPRO_REQUIRE_BATCH_VM", "gapish, mcfish")
+        assert _batch_required("gapish")
+        assert _batch_required("mcfish")
+        assert not _batch_required("craftyish")
+
+    def test_ineligible_program_fails_when_required(self, monkeypatch):
+        # Inputs with magnitude >= 2**62 are rejected at lane load time,
+        # making the whole batch fall back.
+        monkeypatch.setenv("REPRO_REQUIRE_BATCH_VM", "1")
+        program = compile_source(
+            "func main() { return arg(0); }", name="hugearg")
+        sets = [InputSet.make("big", args=[1 << 62])]
+        with pytest.raises(ExperimentError, match="REPRO_REQUIRE_BATCH_VM"):
+            capture_traces(program, sets)
+        monkeypatch.setenv("REPRO_REQUIRE_BATCH_VM", "0")
+        traces = capture_traces(program, sets)  # silent serial fallback
+        assert len(traces) == 1
+
+
+class TestEdgeParity:
+    """Serial-VM edge semantics honored identically by the batch VM."""
+
+    def _run_both(self, source, input_sets, fuel=None):
+        program = compile_source(source, name="edge")
+        assert plan_program(program).eligible, plan_program(program).reason
+        kwargs = {"fuel": fuel} if fuel is not None else {}
+        batch = BatchMachine(program, **kwargs).run_lanes(input_sets, mode="trace")
+        serial = []
+        for s in input_sets:
+            try:
+                serial.append(Machine(program, **kwargs).run(s, mode="trace"))
+            except (VMRuntimeError, FuelExhausted) as exc:
+                serial.append(exc)
+        return batch, serial
+
+    def _assert_parity(self, batch, serial, fallback=()):
+        assert batch.fallback_lanes == sorted(fallback)
+        for lane, want in enumerate(serial):
+            if lane in fallback:
+                # Withdrawn to the serial VM, not faulted: nothing to
+                # compare here (capture_traces parity is checked by the
+                # caller / test_overflow_lane_withdraws_not_faults).
+                assert batch.results[lane] is None
+                assert batch.errors[lane] is None
+                continue
+            if isinstance(want, Exception):
+                got = batch.errors[lane]
+                assert got is not None, f"lane {lane}: serial raised, batch ran"
+                assert type(got) is type(want)
+                assert str(got) == str(want)
+                if isinstance(want, FuelExhausted):
+                    assert got.executed == want.executed
+            else:
+                got = batch.results[lane]
+                assert got is not None, f"lane {lane}: batch faulted: {batch.errors[lane]}"
+                assert got.return_value == want.return_value
+                assert list(got.output) == list(want.output)
+                assert got.instructions == want.instructions
+                assert got.branches == want.branches
+                np.testing.assert_array_equal(
+                    np.asarray(got.packed_trace), np.asarray(want.packed_trace))
+
+    def test_fuel_exhaustion_mid_call(self):
+        # Lanes burn fuel at different rates and die inside the callee at
+        # different depths; FuelExhausted.executed must match exactly.
+        source = """
+        func burn(n) {
+            var i = 0;
+            var acc = 0;
+            while (i < n) { acc = acc + i; i = i + 1; }
+            return acc;
+        }
+        func main() {
+            var total = 0;
+            var j = 0;
+            while (j < 50) { total = total + burn(arg(0)); j = j + 1; }
+            return total;
+        }
+        """
+        sets = [InputSet.make(f"l{k}", args=[k]) for k in (1, 7, 40, 200)]
+        batch, serial = self._run_both(source, sets, fuel=6000)
+        assert any(isinstance(s, FuelExhausted) for s in serial)
+        assert any(not isinstance(s, Exception) for s in serial)
+        self._assert_parity(batch, serial)
+
+    def test_out_of_range_indexing(self):
+        # Some lanes index in range, some out; error strings must match
+        # the serial VM byte for byte.
+        source = """
+        global data[4];
+        func main() {
+            data[0] = 11;
+            return data[arg(0)];
+        }
+        """
+        sets = [InputSet.make(f"l{k}", args=[k]) for k in (0, 3, 4, -1, 100)]
+        batch, serial = self._run_both(source, sets)
+        assert sum(isinstance(s, VMRuntimeError) for s in serial) == 3
+        self._assert_parity(batch, serial)
+
+    def test_shift_count_masking(self):
+        # Shift counts are masked to 6 bits like x86-64 shifts.
+        source = """
+        func main() {
+            output(1 << arg(0));
+            output(1000 >> arg(0));
+            return (arg(1) << arg(0)) + (arg(1) >> arg(0));
+        }
+        """
+        shifts = (0, 1, 5, 63, 64, 65, 130)
+        sets = [InputSet.make(f"l{k}", args=[k, 3]) for k in shifts]
+        batch, serial = self._run_both(source, sets)
+        # shift=63 overflows int64 (1 << 63), so that one lane withdraws
+        # to the serial VM; masked shifts (64 -> 0, 65 -> 1, 130 -> 2)
+        # stay in-bounds and must match exactly.
+        self._assert_parity(batch, serial, fallback=[shifts.index(63)])
+        program = compile_source(source, name="edge")
+        _assert_traces_identical(
+            capture_traces(program, sets),
+            [capture_trace(program, s) for s in sets])
+
+    def test_truncating_division_on_negatives(self):
+        # Minic division truncates toward zero (C semantics), unlike
+        # Python's floor division; mod takes the dividend's sign.
+        source = """
+        func main() {
+            var a = arg(0);
+            var b = arg(1);
+            output(a / b);
+            output(a % b);
+            return (a / b) * b + (a % b) - a;
+        }
+        """
+        cases = [(7, 2), (-7, 2), (7, -2), (-7, -2), (-1, 3), (1, -3), (0, -5)]
+        sets = [InputSet.make(f"l{i}", args=list(c)) for i, c in enumerate(cases)]
+        batch, serial = self._run_both(source, sets)
+        for s in serial:
+            assert not isinstance(s, Exception)
+            assert s.return_value == 0  # the div/mod identity holds
+        self._assert_parity(batch, serial)
+
+    def test_division_by_zero_parity(self):
+        source = "func main() { return arg(0) / arg(1) + arg(0) % 1; }"
+        sets = [InputSet.make("ok", args=[8, 2]), InputSet.make("boom", args=[8, 0])]
+        batch, serial = self._run_both(source, sets)
+        assert isinstance(serial[1], VMRuntimeError)
+        assert "division by zero" in str(serial[1])
+        self._assert_parity(batch, serial)
+
+    def test_overflow_lane_withdraws_not_faults(self):
+        # The serial VM computes with unbounded ints; a lane whose
+        # arithmetic leaves int64 must withdraw (fallback), never fault
+        # or silently wrap.  capture_traces re-runs it serially.
+        source = """
+        func main() {
+            var a = arg(0);
+            var i = 0;
+            var acc = 1;
+            while (i < 4) { acc = acc * a; i = i + 1; }
+            return acc % 1000007;
+        }
+        """
+        program = compile_source(source, name="overflow")
+        assert plan_program(program).eligible
+        sets = [InputSet.make("small", args=[7]),
+                InputSet.make("big", args=[1 << 20])]  # (2**20)**4 = 2**80
+        batch = BatchMachine(program).run_lanes(sets, mode="trace")
+        assert batch.fallback_lanes == [1]
+        assert batch.results[0] is not None and batch.errors[1] is None
+        # capture_traces hides the withdrawal: results identical to serial.
+        traces = capture_traces(program, sets)
+        serial = [capture_trace(program, s) for s in sets]
+        _assert_traces_identical(traces, serial)
+        expected = Machine(program).run(sets[1]).return_value
+        assert expected == pow(1 << 20, 4) % 1000007
+
+    def test_rng_parity(self):
+        # The LCG stream and srand reseeding must match lane for lane.
+        source = """
+        func main() {
+            srand(arg(0));
+            var i = 0;
+            var acc = 0;
+            while (i < 20) {
+                if (rand() % 3 == 0) { acc = acc + 1; }
+                i = i + 1;
+            }
+            return acc;
+        }
+        """
+        sets = [InputSet.make(f"l{k}", args=[k]) for k in (0, 1, 12345, 999999)]
+        batch, serial = self._run_both(source, sets)
+        self._assert_parity(batch, serial)
+
+
+def test_capture_traces_matches_serial_loop():
+    """The documented equivalence: capture_traces == [capture_trace...]."""
+    workload = get_workload("mcfish")
+    program = workload.program()
+    sets = [workload.make_input("train", 0.05),
+            workload.make_input("ref", 0.05),
+            workload.make_input("train", 0.05)]  # duplicates allowed
+    batch = capture_traces(program, sets)
+    serial = [capture_trace(program, s) for s in sets]
+    _assert_traces_identical(batch, serial)
+    assert capture_traces(program, []) == []
+
+
+def test_batch_fallback_is_not_an_error():
+    """A whole-batch fallback still yields correct serial traces."""
+    program = compile_source("func main() { return input(0); }", name="hugeinput")
+    sets = [InputSet.make("big", data=[1 << 62])]
+    with pytest.raises(BatchFallback):
+        BatchMachine(program).run_lanes(sets, mode="trace")
+    traces = capture_traces(program, sets)
+    assert len(traces) == 1
